@@ -1,0 +1,30 @@
+//! Bench targets for the extension experiments (gossip-vs-PBBF,
+//! adaptive convergence, latency tails).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pbbf_bench::{bench_effort, print_exhibit};
+use pbbf_experiments::{ext_adaptive_convergence, ext_gossip_vs_pbbf, ext_k_tradeoff, ext_latency_tail, Effort};
+use pbbf_metrics::Figure;
+
+type ExhibitFn = fn(&Effort, u64) -> Figure;
+
+fn bench_extensions(c: &mut Criterion) {
+    let effort = bench_effort();
+    let exhibits: [(&str, ExhibitFn); 4] = [
+        ("ext_gossip_vs_pbbf", ext_gossip_vs_pbbf),
+        ("ext_adaptive_convergence", ext_adaptive_convergence),
+        ("ext_latency_tail", ext_latency_tail),
+        ("ext_k_tradeoff", ext_k_tradeoff),
+    ];
+    for (id, f) in exhibits {
+        print_exhibit(id, &f(&effort, 2005).render_text());
+        c.bench_function(id, |b| b.iter(|| f(&effort, 2005)));
+    }
+}
+
+criterion_group! {
+    name = extensions;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_extensions
+}
+criterion_main!(extensions);

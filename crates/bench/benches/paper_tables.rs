@@ -1,0 +1,20 @@
+//! Bench targets regenerating Table 1 and Table 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pbbf_bench::{bench_effort, print_exhibit};
+use pbbf_experiments::Experiment;
+
+fn bench_tables(c: &mut Criterion) {
+    let effort = bench_effort();
+    for exp in [Experiment::Table1, Experiment::Table2] {
+        print_exhibit(exp.id(), &exp.run(&effort, 2005).render_text());
+        c.bench_function(exp.id(), |b| b.iter(|| exp.run(&effort, 2005)));
+    }
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_tables
+}
+criterion_main!(tables);

@@ -1,0 +1,21 @@
+//! Bench targets regenerating the percolation/analysis figures
+//! (Figs 6, 7, 12).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pbbf_bench::{bench_effort, print_exhibit};
+use pbbf_experiments::Experiment;
+
+fn bench_percolation_figures(c: &mut Criterion) {
+    let effort = bench_effort();
+    for exp in [Experiment::Fig06, Experiment::Fig07, Experiment::Fig12] {
+        print_exhibit(exp.id(), &exp.run(&effort, 2005).render_text());
+        c.bench_function(exp.id(), |b| b.iter(|| exp.run(&effort, 2005)));
+    }
+}
+
+criterion_group! {
+    name = percolation_figures;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_percolation_figures
+}
+criterion_main!(percolation_figures);

@@ -1,0 +1,397 @@
+//! The closed-form analysis of Section 4 (Equations 3–12).
+//!
+//! All energies are *relative* (fraction of always-on consumption) unless a
+//! function name says joules; all latencies are in seconds.
+
+use crate::{AnalysisParams, PbbfParams, SleepSchedule};
+
+/// Eq. 3: relative energy of the plain sleep-scheduling protocol,
+/// `E_original = T_active / T_frame` (the duty cycle).
+#[must_use]
+pub fn relative_energy_original(schedule: &SleepSchedule) -> f64 {
+    schedule.duty_cycle()
+}
+
+/// Eq. 7: relative energy of PBBF,
+/// `E_PBBF = (T_active + q·T_sleep) / T_frame`.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+#[must_use]
+pub fn relative_energy_pbbf(schedule: &SleepSchedule, q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "q = {q} outside [0, 1]");
+    (schedule.t_active() + q * schedule.t_sleep()) / schedule.t_frame()
+}
+
+/// Eq. 8: energy increase of PBBF over the original protocol,
+/// `E_PBBF / E_original = 1 + q·T_sleep/T_active`.
+///
+/// Linear in `q` and independent of `p` — which is exactly why the PBBF
+/// curves for different `p` overlap in Figures 8 and 13.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+#[must_use]
+pub fn energy_increase_factor(schedule: &SleepSchedule, q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "q = {q} outside [0, 1]");
+    1.0 + q * schedule.t_sleep() / schedule.t_active()
+}
+
+/// Joules a node consumes per source update when idle-listening dominates
+/// (the regime of Figures 8 and 13): awake time is billed at `P_I`, the
+/// rest of each frame at `P_S`, and a new update arrives every `1/λ`
+/// seconds, i.e. every `1/(λ·T_frame)` frames.
+///
+/// `q = 0` gives the PSM baseline; `q = 1` (or
+/// [`joules_per_update_always_on`]) the no-PSM ceiling.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+#[must_use]
+pub fn joules_per_update(params: &AnalysisParams, q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "q = {q} outside [0, 1]");
+    let s = &params.schedule;
+    let awake = s.t_active() + q * s.t_sleep();
+    let asleep = (1.0 - q) * s.t_sleep();
+    let per_frame = params.power.idle * awake + params.power.sleep * asleep;
+    per_frame / (params.lambda * s.t_frame())
+}
+
+/// Joules per update with the radio always on (the paper's `NO PSM` line).
+#[must_use]
+pub fn joules_per_update_always_on(params: &AnalysisParams) -> f64 {
+    params.power.idle / params.lambda
+}
+
+/// Eq. 9: expected one-link latency
+/// `L = L1 + L2 · (1 − p) / (1 − p + p·q)`,
+/// conditioned on the link delivering at all.
+///
+/// `L1` is the immediate channel-access time; `L2` the extra wait until
+/// every neighbor is awake (for 802.11 PSM: until the data phase following
+/// the next ATIM window). The degenerate point `p = 1, q = 0` has delivery
+/// probability zero; conditioned on (immediate-only) delivery the latency
+/// is `L1`, which is the formula's continuous limit and what this function
+/// returns.
+///
+/// # Panics
+///
+/// Panics if `p`/`q` are outside `[0, 1]` or latencies are not positive.
+#[must_use]
+pub fn expected_link_latency(p: f64, q: f64, l1: f64, l2: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p = {p} outside [0, 1]");
+    assert!((0.0..=1.0).contains(&q), "q = {q} outside [0, 1]");
+    assert!(l1 > 0.0 && l1.is_finite(), "bad L1 {l1}");
+    assert!(l2 > 0.0 && l2.is_finite(), "bad L2 {l2}");
+    let denom = 1.0 - p + p * q;
+    if denom <= 0.0 {
+        return l1;
+    }
+    l1 + l2 * (1.0 - p) / denom
+}
+
+/// Eq. 10: expected source-to-node latency `L_{S,B} = L · len(S, B)`, where
+/// `len` is the expected hop count of the dissemination-tree path actually
+/// taken (which exceeds the shortest distance when links are missing).
+#[must_use]
+pub fn source_latency(link_latency: f64, path_hops: f64) -> f64 {
+    link_latency * path_hops
+}
+
+/// Eq. 11: the loop-erased-random-walk upper bound on dissemination-tree
+/// path length, `L_{S,B} ≤ L · d^{5/4}` for a node at shortest distance `d`
+/// (the `o(1)` exponent term is dropped).
+#[must_use]
+pub fn latency_upper_bound(link_latency: f64, shortest_distance: f64) -> f64 {
+    link_latency * shortest_distance.powf(1.25)
+}
+
+/// Inverts Eq. 9: the `q` that achieves link latency `latency` at the given
+/// `p`, i.e. `q = (1 − p)/p · (L1 + L2 − L)/(L − L1)`.
+///
+/// Returns `None` when no `q ∈ [0, 1]` achieves it (latency below `L1`
+/// or above the `q = 0` latency, or `p = 0`, where latency is fixed at
+/// `L1 + L2`).
+#[must_use]
+pub fn q_for_latency(p: f64, l1: f64, l2: f64, latency: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&p), "p = {p} outside [0, 1]");
+    if p == 0.0 {
+        // Latency is L1 + L2 regardless of q.
+        return ((latency - (l1 + l2)).abs() < 1e-9).then_some(0.0);
+    }
+    if latency <= l1 + 1e-12 {
+        // Only p = 1 reaches exactly L1 (every forward is immediate, for
+        // any q); anything below L1 is unachievable.
+        return ((latency - l1).abs() <= 1e-12 && p >= 1.0).then_some(0.0);
+    }
+    let q = (1.0 - p) / p * (l1 + l2 - latency) / (latency - l1);
+    (0.0..=1.0 + 1e-12).contains(&q).then(|| q.min(1.0))
+}
+
+/// Eq. 12 (sign-corrected): the energy–latency trade-off. Given the
+/// latency `L` achieved at immediate-forwarding probability `p`, the
+/// relative energy is
+///
+/// `E_PBBF = (1 + (L1 + L2 − L)/(L − L1) · (1 − p)/p · T_sleep/T_active) · E_original`.
+///
+/// The printed equation in the paper has a minus sign before the middle
+/// term; substituting Eq. 9 into it yields `(1 − q·T_sleep/T_active)` —
+/// contradicting Eq. 8, under which energy *grows* with `q`. The corrected
+/// form above reduces exactly to Eq. 8, so we implement it and record the
+/// discrepancy in `EXPERIMENTS.md`.
+///
+/// Returns `None` when the latency is not achievable at this `p` (see
+/// [`q_for_latency`]).
+#[must_use]
+pub fn energy_latency_tradeoff(
+    schedule: &SleepSchedule,
+    p: f64,
+    l1: f64,
+    l2: f64,
+    latency: f64,
+) -> Option<f64> {
+    let q = q_for_latency(p, l1, l2, latency)?;
+    Some(energy_increase_factor(schedule, q) * relative_energy_original(schedule))
+}
+
+/// One point of the Figure-12 frontier: the latency and energy obtained by
+/// running PBBF at the *cheapest reliable* `q` for a given `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeoffPoint {
+    /// Immediate-forwarding probability.
+    pub p: f64,
+    /// The minimum `q` meeting the reliability threshold at this `p`.
+    pub q_min: f64,
+    /// Expected one-link latency (Eq. 9) at `(p, q_min)`.
+    pub link_latency: f64,
+    /// Relative energy (Eq. 7) at `q_min`.
+    pub relative_energy: f64,
+    /// Joules per update at `q_min` under the Table-1 power model.
+    pub joules_per_update: f64,
+}
+
+/// Builds the Figure-12 energy–latency frontier for a reliability level:
+/// for each `p`, pair the minimum reliable `q` (from the percolation
+/// critical edge probability) with the Eq. 8/9 energy and latency.
+///
+/// # Panics
+///
+/// Panics if `critical_edge_probability` is outside `[0, 1]`.
+#[must_use]
+pub fn tradeoff_frontier(
+    params: &AnalysisParams,
+    critical_edge_probability: f64,
+    p_values: &[f64],
+) -> Vec<TradeoffPoint> {
+    p_values
+        .iter()
+        .map(|&p| {
+            let q_min = pbbf_percolation::min_q_for_reliability(p, critical_edge_probability)
+                .expect("critical <= 1 is always solvable");
+            TradeoffPoint {
+                p,
+                q_min,
+                link_latency: expected_link_latency(p, q_min, params.l1, params.l2()),
+                relative_energy: relative_energy_pbbf(&params.schedule, q_min),
+                joules_per_update: joules_per_update(params, q_min),
+            }
+        })
+        .collect()
+}
+
+/// Convenience: all Eq. 7–9 quantities for one parameter pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointAnalysis {
+    /// The parameters analyzed.
+    pub params: PbbfParams,
+    /// Link-open probability (Remark 1).
+    pub edge_probability: f64,
+    /// Relative energy (Eq. 7).
+    pub relative_energy: f64,
+    /// Energy increase over PSM (Eq. 8).
+    pub energy_increase: f64,
+    /// Expected one-link latency (Eq. 9).
+    pub link_latency: f64,
+    /// Joules per update under the analysis power/traffic model.
+    pub joules_per_update: f64,
+}
+
+/// Analyzes one `(p, q)` operating point under `params`.
+#[must_use]
+pub fn analyze(params: &AnalysisParams, pbbf: PbbfParams) -> PointAnalysis {
+    PointAnalysis {
+        params: pbbf,
+        edge_probability: pbbf.edge_probability(),
+        relative_energy: relative_energy_pbbf(&params.schedule, pbbf.q()),
+        energy_increase: energy_increase_factor(&params.schedule, pbbf.q()),
+        link_latency: expected_link_latency(pbbf.p(), pbbf.q(), params.l1, params.l2()),
+        joules_per_update: joules_per_update(params, pbbf.q()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1_schedule() -> SleepSchedule {
+        SleepSchedule::new(1.0, 10.0).unwrap()
+    }
+
+    #[test]
+    fn eq3_duty_cycle() {
+        assert_eq!(relative_energy_original(&table1_schedule()), 0.1);
+    }
+
+    #[test]
+    fn eq7_endpoints() {
+        let s = table1_schedule();
+        assert_eq!(relative_energy_pbbf(&s, 0.0), 0.1);
+        assert_eq!(relative_energy_pbbf(&s, 1.0), 1.0);
+        assert!((relative_energy_pbbf(&s, 0.5) - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq8_linear_in_q() {
+        let s = table1_schedule();
+        assert_eq!(energy_increase_factor(&s, 0.0), 1.0);
+        assert_eq!(energy_increase_factor(&s, 1.0), 10.0);
+        // Linearity: factor(q) - factor(0) proportional to q.
+        let f25 = energy_increase_factor(&s, 0.25) - 1.0;
+        let f50 = energy_increase_factor(&s, 0.5) - 1.0;
+        assert!((f50 / f25 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq7_eq8_consistent() {
+        let s = table1_schedule();
+        for q in [0.0, 0.1, 0.37, 0.99, 1.0] {
+            let lhs = relative_energy_pbbf(&s, q);
+            let rhs = energy_increase_factor(&s, q) * relative_energy_original(&s);
+            assert!((lhs - rhs).abs() < 1e-12, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn joules_match_figure8_scale() {
+        // Fig. 8: PSM ≈ 0.3 J/update, NO PSM ≈ 3 J/update ("saves almost
+        // 3 Joules per update").
+        let a = AnalysisParams::table1();
+        let psm = joules_per_update(&a, 0.0);
+        let no_psm = joules_per_update_always_on(&a);
+        assert!((psm - 0.3).abs() < 0.01, "PSM {psm} J");
+        assert!((no_psm - 3.0).abs() < 0.01, "NO PSM {no_psm} J");
+        assert!(no_psm - psm > 2.5, "PSM saves almost 3 J/update");
+        // q = 1 approaches (and slightly exceeds is impossible) always-on.
+        let q1 = joules_per_update(&a, 1.0);
+        assert!((q1 - no_psm).abs() < 1e-9);
+    }
+
+    #[test]
+    fn joules_linear_in_q_and_independent_of_p() {
+        let a = AnalysisParams::table1();
+        let j0 = joules_per_update(&a, 0.0);
+        let j5 = joules_per_update(&a, 0.5);
+        let j1 = joules_per_update(&a, 1.0);
+        assert!((j5 - (j0 + j1) / 2.0).abs() < 1e-12, "linear in q");
+    }
+
+    #[test]
+    fn eq9_endpoints() {
+        // p = 0: always wait for the announced broadcast -> L1 + L2.
+        assert_eq!(expected_link_latency(0.0, 0.5, 1.5, 6.0), 7.5);
+        // p = 1, q = 1: always immediate -> L1.
+        assert_eq!(expected_link_latency(1.0, 1.0, 1.5, 6.0), 1.5);
+        // p = 1, q = 0: degenerate; conditioned on delivery -> L1.
+        assert_eq!(expected_link_latency(1.0, 0.0, 1.5, 6.0), 1.5);
+    }
+
+    #[test]
+    fn eq9_decreasing_in_p_and_q() {
+        let l = |p: f64, q: f64| expected_link_latency(p, q, 1.5, 6.0);
+        assert!(l(0.25, 0.5) > l(0.5, 0.5));
+        assert!(l(0.5, 0.25) > l(0.5, 0.75));
+    }
+
+    #[test]
+    fn eq10_eq11() {
+        assert_eq!(source_latency(2.0, 10.0), 20.0);
+        let bound = latency_upper_bound(2.0, 16.0);
+        assert!((bound - 2.0 * 16f64.powf(1.25)).abs() < 1e-12);
+        // The bound dominates the proportional-to-d latency.
+        assert!(bound >= source_latency(2.0, 16.0));
+    }
+
+    #[test]
+    fn q_for_latency_inverts_eq9() {
+        for p in [0.25, 0.5, 0.75] {
+            for q in [0.1, 0.4, 0.9] {
+                let lat = expected_link_latency(p, q, 1.5, 6.0);
+                let back = q_for_latency(p, 1.5, 6.0, lat).unwrap();
+                assert!((back - q).abs() < 1e-9, "p={p} q={q} -> {back}");
+            }
+        }
+        // At p = 1 every forward is immediate: latency L1 for any q; the
+        // inverse reports the minimal q.
+        assert_eq!(q_for_latency(1.0, 1.5, 6.0, 1.5), Some(0.0));
+    }
+
+    #[test]
+    fn q_for_latency_rejects_unachievable() {
+        // Below L1 is impossible.
+        assert_eq!(q_for_latency(0.5, 1.5, 6.0, 1.0), None);
+        // Above the q=0 latency at p=0.5 (i.e. > 7.5) is impossible too.
+        assert_eq!(q_for_latency(0.5, 1.5, 6.0, 8.0), None);
+        // p = 0 has fixed latency L1 + L2.
+        assert_eq!(q_for_latency(0.0, 1.5, 6.0, 7.5), Some(0.0));
+        assert_eq!(q_for_latency(0.0, 1.5, 6.0, 5.0), None);
+    }
+
+    #[test]
+    fn eq12_reduces_to_eq8() {
+        // Corrected Eq. 12 must agree with Eq. 7/8 at the q achieving L.
+        let s = table1_schedule();
+        for p in [0.25, 0.5, 0.75] {
+            for q in [0.2, 0.6, 1.0] {
+                let lat = expected_link_latency(p, q, 1.5, 6.0);
+                let e12 = energy_latency_tradeoff(&s, p, 1.5, 6.0, lat).unwrap();
+                let e7 = relative_energy_pbbf(&s, q);
+                assert!((e12 - e7).abs() < 1e-9, "p={p} q={q}: {e12} vs {e7}");
+            }
+        }
+    }
+
+    #[test]
+    fn tradeoff_frontier_is_inverse() {
+        // Along the frontier, lower latency must cost more energy.
+        let a = AnalysisParams::table1();
+        let ps = [0.45, 0.55, 0.65, 0.75, 0.85, 0.95];
+        let frontier = tradeoff_frontier(&a, 0.65, &ps);
+        assert_eq!(frontier.len(), ps.len());
+        for w in frontier.windows(2) {
+            assert!(w[1].q_min >= w[0].q_min, "q_min monotone in p");
+            assert!(w[1].link_latency <= w[0].link_latency + 1e-9, "latency falls");
+            assert!(w[1].relative_energy >= w[0].relative_energy - 1e-12, "energy rises");
+        }
+    }
+
+    #[test]
+    fn analyze_bundles_consistently() {
+        let a = AnalysisParams::table1();
+        let pt = analyze(&a, PbbfParams::new(0.5, 0.25).unwrap());
+        assert!((pt.edge_probability - 0.625).abs() < 1e-12);
+        assert_eq!(pt.relative_energy, relative_energy_pbbf(&a.schedule, 0.25));
+        assert_eq!(
+            pt.link_latency,
+            expected_link_latency(0.5, 0.25, a.l1, a.l2())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_q_panics() {
+        let _ = relative_energy_pbbf(&table1_schedule(), 1.5);
+    }
+}

@@ -1,0 +1,202 @@
+//! The Figure-3 decision engine.
+//!
+//! The paper specifies PBBF as two small changes to any sleep-scheduling
+//! protocol (its Figure 3):
+//!
+//! ```text
+//! Sleep-Decision-Handler()            — at the end of active time
+//!     if DataToSend or DataToRecv: stay on
+//!     else if Uniform-Rand(0,1) < q:  stay on
+//!     else:                           sleep
+//!
+//! Receive-Broadcast(pkt)              — on broadcast reception
+//!     if Uniform-Rand(0,1) < p: Send(pkt)           (immediate)
+//!     else: Enqueue(nextPktQueue, pkt)              (announce next window)
+//! ```
+//!
+//! [`PbbfEngine`] encapsulates exactly those coin flips so that both
+//! simulators (and any real MAC integration) share one implementation.
+
+use rand::RngCore;
+
+use crate::PbbfParams;
+
+/// The outcome of `Receive-Broadcast`: what to do with a freshly received
+/// (non-duplicate) broadcast packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwardDecision {
+    /// Rebroadcast now, without announcing; only awake neighbors receive.
+    SendImmediately,
+    /// Queue for the next active window, announce (e.g. via ATIM), and send
+    /// with every neighbor guaranteed awake.
+    EnqueueForNextActiveWindow,
+}
+
+/// PBBF's probabilistic decisions, bound to a parameter pair and an RNG.
+///
+/// Generic over [`rand::RngCore`] so simulators can hand every node its own
+/// deterministic substream.
+///
+/// # Examples
+///
+/// ```
+/// use pbbf_core::{ForwardDecision, PbbfEngine, PbbfParams};
+/// use pbbf_des::SimRng;
+///
+/// // Pure PSM: never immediate, never stays awake.
+/// let mut psm = PbbfEngine::new(PbbfParams::PSM, SimRng::new(1));
+/// assert_eq!(psm.on_receive_broadcast(), ForwardDecision::EnqueueForNextActiveWindow);
+/// assert!(!psm.stay_on_after_active(false, false));
+///
+/// // Pending traffic always wins over the q coin.
+/// assert!(psm.stay_on_after_active(true, false));
+/// assert!(psm.stay_on_after_active(false, true));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PbbfEngine<R> {
+    params: PbbfParams,
+    rng: R,
+}
+
+impl<R: RngCore> PbbfEngine<R> {
+    /// Creates an engine with the given parameters and RNG.
+    #[must_use]
+    pub fn new(params: PbbfParams, rng: R) -> Self {
+        Self { params, rng }
+    }
+
+    /// The configured parameters.
+    #[must_use]
+    pub fn params(&self) -> PbbfParams {
+        self.params
+    }
+
+    /// Replaces the parameters (e.g. for the adaptive extensions sketched
+    /// in the paper's future work).
+    pub fn set_params(&mut self, params: PbbfParams) {
+        self.params = params;
+    }
+
+    /// `Receive-Broadcast` (Fig. 3): decide the fate of a fresh broadcast.
+    pub fn on_receive_broadcast(&mut self) -> ForwardDecision {
+        if self.chance(self.params.p()) {
+            ForwardDecision::SendImmediately
+        } else {
+            ForwardDecision::EnqueueForNextActiveWindow
+        }
+    }
+
+    /// `Sleep-Decision-Handler` (Fig. 3): called at the end of the active
+    /// window; returns `true` if the node should stay on through the data
+    /// phase.
+    ///
+    /// Pending traffic (`data_to_send` — e.g. a queued or announced packet;
+    /// `data_to_recv` — e.g. an ATIM received in the window) forces the
+    /// radio on deterministically; only otherwise is the `q` coin tossed.
+    pub fn stay_on_after_active(&mut self, data_to_send: bool, data_to_recv: bool) -> bool {
+        if data_to_send || data_to_recv {
+            return true;
+        }
+        self.chance(self.params.q())
+    }
+
+    /// Bernoulli draw with exact 0/1 edge cases (PSM and always-on must be
+    /// deterministic, not "almost surely").
+    fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        let u = (self.rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbbf_des::SimRng;
+
+    fn engine(p: f64, q: f64, seed: u64) -> PbbfEngine<SimRng> {
+        PbbfEngine::new(PbbfParams::new(p, q).unwrap(), SimRng::new(seed))
+    }
+
+    #[test]
+    fn psm_is_deterministic() {
+        let mut e = engine(0.0, 0.0, 1);
+        for _ in 0..1000 {
+            assert_eq!(
+                e.on_receive_broadcast(),
+                ForwardDecision::EnqueueForNextActiveWindow
+            );
+            assert!(!e.stay_on_after_active(false, false));
+        }
+    }
+
+    #[test]
+    fn always_on_is_deterministic() {
+        let mut e = engine(1.0, 1.0, 2);
+        for _ in 0..1000 {
+            assert_eq!(e.on_receive_broadcast(), ForwardDecision::SendImmediately);
+            assert!(e.stay_on_after_active(false, false));
+        }
+    }
+
+    #[test]
+    fn pending_traffic_overrides_q() {
+        let mut e = engine(0.5, 0.0, 3);
+        for _ in 0..100 {
+            assert!(e.stay_on_after_active(true, false));
+            assert!(e.stay_on_after_active(false, true));
+            assert!(e.stay_on_after_active(true, true));
+            assert!(!e.stay_on_after_active(false, false), "q = 0 must sleep");
+        }
+    }
+
+    #[test]
+    fn immediate_frequency_tracks_p() {
+        let mut e = engine(0.25, 0.0, 4);
+        let n = 100_000;
+        let imm = (0..n)
+            .filter(|_| e.on_receive_broadcast() == ForwardDecision::SendImmediately)
+            .count();
+        let freq = imm as f64 / n as f64;
+        assert!((freq - 0.25).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn stay_on_frequency_tracks_q() {
+        let mut e = engine(0.0, 0.7, 5);
+        let n = 100_000;
+        let on = (0..n).filter(|_| e.stay_on_after_active(false, false)).count();
+        let freq = on as f64 / n as f64;
+        assert!((freq - 0.7).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let mut a = engine(0.5, 0.5, 42);
+        let mut b = engine(0.5, 0.5, 42);
+        for _ in 0..1000 {
+            assert_eq!(a.on_receive_broadcast(), b.on_receive_broadcast());
+            assert_eq!(
+                a.stay_on_after_active(false, false),
+                b.stay_on_after_active(false, false)
+            );
+        }
+    }
+
+    #[test]
+    fn set_params_switches_behavior() {
+        let mut e = engine(0.0, 0.0, 6);
+        assert_eq!(
+            e.on_receive_broadcast(),
+            ForwardDecision::EnqueueForNextActiveWindow
+        );
+        e.set_params(PbbfParams::ALWAYS_ON);
+        assert_eq!(e.on_receive_broadcast(), ForwardDecision::SendImmediately);
+        assert_eq!(e.params(), PbbfParams::ALWAYS_ON);
+    }
+}

@@ -1,0 +1,97 @@
+//! Parameter validation errors.
+
+use std::fmt;
+
+/// An invalid protocol or schedule parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamError {
+    /// A probability fell outside `[0, 1]` (or was NaN).
+    ProbabilityOutOfRange {
+        /// Which parameter was invalid (`"p"`, `"q"`, …).
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A duration was non-positive or non-finite.
+    NonPositiveDuration {
+        /// Which parameter was invalid.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The active time did not fit within the frame.
+    ActiveExceedsFrame {
+        /// Active-window length (s).
+        t_active: f64,
+        /// Frame length (s).
+        t_frame: f64,
+    },
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::ProbabilityOutOfRange { name, value } => {
+                write!(f, "probability `{name}` = {value} outside [0, 1]")
+            }
+            ParamError::NonPositiveDuration { name, value } => {
+                write!(f, "duration `{name}` = {value} must be positive and finite")
+            }
+            ParamError::ActiveExceedsFrame { t_active, t_frame } => {
+                write!(
+                    f,
+                    "active time {t_active} s does not fit in frame {t_frame} s"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+pub(crate) fn check_probability(name: &'static str, value: f64) -> Result<f64, ParamError> {
+    if value.is_nan() || !(0.0..=1.0).contains(&value) {
+        Err(ParamError::ProbabilityOutOfRange { name, value })
+    } else {
+        Ok(value)
+    }
+}
+
+pub(crate) fn check_duration(name: &'static str, value: f64) -> Result<f64, ParamError> {
+    if !value.is_finite() || value <= 0.0 {
+        Err(ParamError::NonPositiveDuration { name, value })
+    } else {
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_validation() {
+        assert!(check_probability("p", 0.0).is_ok());
+        assert!(check_probability("p", 1.0).is_ok());
+        assert!(check_probability("p", 0.5).is_ok());
+        assert!(check_probability("p", -0.1).is_err());
+        assert!(check_probability("p", 1.1).is_err());
+        assert!(check_probability("p", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn duration_validation() {
+        assert!(check_duration("t", 1.0).is_ok());
+        assert!(check_duration("t", 0.0).is_err());
+        assert!(check_duration("t", -1.0).is_err());
+        assert!(check_duration("t", f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = ParamError::ProbabilityOutOfRange { name: "q", value: 2.0 };
+        assert!(e.to_string().contains("`q`"));
+        let e = ParamError::ActiveExceedsFrame { t_active: 11.0, t_frame: 10.0 };
+        assert!(e.to_string().contains("does not fit"));
+    }
+}

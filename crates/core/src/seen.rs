@@ -1,0 +1,138 @@
+//! Duplicate-broadcast suppression.
+//!
+//! "Nodes drop a broadcast packet if they receive a duplicate" —
+//! Section 4.1. This is what makes PBBF a *bond* percolation process
+//! (each link conducts a given broadcast at most once) and what builds the
+//! uniform spanning tree of Section 4.3. [`DuplicateFilter`] is that rule,
+//! with an optional capacity bound so long-running nodes do not grow
+//! without limit (the code-distribution application's update ids increase
+//! monotonically, so evicting the oldest ids is safe).
+
+use std::collections::{HashSet, VecDeque};
+
+/// Remembers which broadcast identifiers a node has already accepted.
+///
+/// # Examples
+///
+/// ```
+/// use pbbf_core::DuplicateFilter;
+///
+/// let mut seen = DuplicateFilter::unbounded();
+/// assert!(seen.first_sighting(7)); // fresh: accept and forward
+/// assert!(!seen.first_sighting(7)); // duplicate: drop
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DuplicateFilter {
+    seen: HashSet<u64>,
+    order: VecDeque<u64>,
+    capacity: Option<usize>,
+}
+
+impl DuplicateFilter {
+    /// A filter that remembers every id forever.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// A filter that remembers at most `capacity` ids, evicting the oldest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            seen: HashSet::with_capacity(capacity),
+            order: VecDeque::with_capacity(capacity),
+            capacity: Some(capacity),
+        }
+    }
+
+    /// Records `id`; returns `true` exactly when this is its first
+    /// sighting (i.e. the packet should be processed, not dropped).
+    pub fn first_sighting(&mut self, id: u64) -> bool {
+        if !self.seen.insert(id) {
+            return false;
+        }
+        self.order.push_back(id);
+        if let Some(cap) = self.capacity {
+            while self.order.len() > cap {
+                let evicted = self.order.pop_front().expect("order non-empty");
+                self.seen.remove(&evicted);
+            }
+        }
+        true
+    }
+
+    /// Whether `id` has been sighted (and not evicted).
+    #[must_use]
+    pub fn contains(&self, id: u64) -> bool {
+        self.seen.contains(&id)
+    }
+
+    /// Number of remembered ids.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether no ids are remembered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// Forgets everything.
+    pub fn clear(&mut self) {
+        self.seen.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sighting_then_duplicates() {
+        let mut f = DuplicateFilter::unbounded();
+        assert!(f.first_sighting(1));
+        assert!(f.first_sighting(2));
+        assert!(!f.first_sighting(1));
+        assert!(!f.first_sighting(2));
+        assert_eq!(f.len(), 2);
+        assert!(f.contains(1));
+        assert!(!f.contains(3));
+    }
+
+    #[test]
+    fn bounded_filter_evicts_oldest() {
+        let mut f = DuplicateFilter::with_capacity(2);
+        assert!(f.first_sighting(1));
+        assert!(f.first_sighting(2));
+        assert!(f.first_sighting(3)); // evicts 1
+        assert_eq!(f.len(), 2);
+        assert!(!f.contains(1));
+        assert!(f.contains(2));
+        assert!(f.contains(3));
+        // Evicted ids are treated as fresh again.
+        assert!(f.first_sighting(1));
+    }
+
+    #[test]
+    fn clear_forgets() {
+        let mut f = DuplicateFilter::unbounded();
+        f.first_sighting(9);
+        f.clear();
+        assert!(f.is_empty());
+        assert!(f.first_sighting(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = DuplicateFilter::with_capacity(0);
+    }
+}

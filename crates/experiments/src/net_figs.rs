@@ -1,0 +1,245 @@
+//! Figures 13–18 — the Section-5 realistic-simulation sweeps.
+
+use pbbf_core::PbbfParams;
+use pbbf_metrics::{ConfidenceInterval, Figure, Series, Summary};
+use pbbf_net_sim::{NetConfig, NetMode, NetRunStats, NetSim};
+
+use crate::Effort;
+
+/// The `p` values of the paper's Section-5 legends (Figs 13–16).
+pub(crate) const NET_P_VALUES: [f64; 4] = [0.05, 0.1, 0.25, 0.5];
+
+/// The density values of Figs 17–18.
+pub(crate) const DELTA_VALUES: [f64; 6] = [8.0, 10.0, 12.0, 14.0, 16.0, 18.0];
+
+/// The fixed `q` of the density sweeps (Table 2).
+pub(crate) const FIXED_Q: f64 = 0.25;
+
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn net_config(effort: &Effort, delta: f64) -> NetConfig {
+    let mut cfg = NetConfig::table2();
+    cfg.duration_secs = effort.net_duration_secs;
+    cfg.delta = delta;
+    cfg
+}
+
+fn run_point(
+    cfg: NetConfig,
+    mode: NetMode,
+    effort: &Effort,
+    seed: u64,
+    metric: &impl Fn(&NetRunStats) -> Option<f64>,
+) -> Option<ConfidenceInterval> {
+    let sim = NetSim::new(cfg, mode);
+    let vals: Summary = (0..effort.runs)
+        .filter_map(|r| metric(&sim.run(mix(seed, u64::from(r)))))
+        .collect();
+    (!vals.is_empty()).then(|| ConfidenceInterval::from_summary(&vals, 0.95))
+}
+
+/// Sweeps a metric over `q` at the Table-2 density for the PBBF lines plus
+/// flat PSM / NO-PSM baselines.
+fn q_sweep(
+    effort: &Effort,
+    seed: u64,
+    metric: impl Fn(&NetRunStats) -> Option<f64>,
+) -> Vec<Series> {
+    let qs = effort.q_values();
+    let cfg = net_config(effort, NetConfig::table2().delta);
+    let mut series = Vec::new();
+    for (pi, &p) in NET_P_VALUES.iter().enumerate() {
+        let mut s = Series::new(format!("PBBF-{p}"));
+        for (qi, &q) in qs.iter().enumerate() {
+            let mode = NetMode::SleepScheduled(PbbfParams::new(p, q).expect("valid sweep"));
+            let point_seed = mix(seed, (pi as u64) << 32 | qi as u64);
+            if let Some(ci) = run_point(cfg, mode, effort, point_seed, &metric) {
+                s.push_with_err(q, ci.mean, ci.half_width);
+            }
+        }
+        series.push(s);
+    }
+    for (label, mode) in [
+        ("PSM", NetMode::SleepScheduled(PbbfParams::PSM)),
+        ("NO PSM", NetMode::AlwaysOn),
+    ] {
+        let mut s = Series::new(label);
+        if let Some(ci) = run_point(cfg, mode, effort, mix(seed, label.len() as u64), &metric) {
+            for &q in &qs {
+                s.push_with_err(q, ci.mean, ci.half_width);
+            }
+        }
+        series.push(s);
+    }
+    series
+}
+
+/// Sweeps a metric over the density Δ at fixed `q = 0.25` (Figs 17–18;
+/// the paper drops `p = 0.5` from these plots).
+fn delta_sweep(
+    effort: &Effort,
+    seed: u64,
+    metric: impl Fn(&NetRunStats) -> Option<f64>,
+) -> Vec<Series> {
+    let mut series = Vec::new();
+    let p_values = [0.05, 0.1, 0.25];
+    for (pi, &p) in p_values.iter().enumerate() {
+        let mut s = Series::new(format!("PBBF-{p}"));
+        for (di, &delta) in DELTA_VALUES.iter().enumerate() {
+            let cfg = net_config(effort, delta);
+            let mode = NetMode::SleepScheduled(PbbfParams::new(p, FIXED_Q).expect("valid"));
+            let point_seed = mix(seed, (pi as u64) << 32 | di as u64);
+            if let Some(ci) = run_point(cfg, mode, effort, point_seed, &metric) {
+                s.push_with_err(delta, ci.mean, ci.half_width);
+            }
+        }
+        series.push(s);
+    }
+    for (label, mode) in [
+        ("PSM", NetMode::SleepScheduled(PbbfParams::PSM)),
+        ("NO PSM", NetMode::AlwaysOn),
+    ] {
+        let mut s = Series::new(label);
+        for (di, &delta) in DELTA_VALUES.iter().enumerate() {
+            let cfg = net_config(effort, delta);
+            let point_seed = mix(seed, (label.len() as u64) << 40 | di as u64);
+            if let Some(ci) = run_point(cfg, mode, effort, point_seed, &metric) {
+                s.push_with_err(delta, ci.mean, ci.half_width);
+            }
+        }
+        series.push(s);
+    }
+    series
+}
+
+/// Figure 13: average per-node energy per update (J) vs `q`.
+#[must_use]
+pub fn fig13(effort: &Effort, seed: u64) -> Figure {
+    let series = q_sweep(effort, seed, |r| Some(r.energy_per_update()));
+    Figure::new(
+        "Figure 13: Average energy consumption",
+        "q",
+        "Joules consumed / total updates sent at source",
+        series,
+    )
+}
+
+/// Figure 14: average update latency of 2-hop nodes (s) vs `q`.
+#[must_use]
+pub fn fig14(effort: &Effort, seed: u64) -> Figure {
+    let series = q_sweep(effort, seed, |r| r.mean_latency_at_hops(2));
+    Figure::new(
+        "Figure 14: 2-hop average update latency",
+        "q",
+        "Average 2-hop latency (s)",
+        series,
+    )
+}
+
+/// Figure 15: average update latency of 5-hop nodes (s) vs `q`.
+#[must_use]
+pub fn fig15(effort: &Effort, seed: u64) -> Figure {
+    let series = q_sweep(effort, seed, |r| r.mean_latency_at_hops(5));
+    Figure::new(
+        "Figure 15: 5-hop average update latency",
+        "q",
+        "Average 5-hop latency (s)",
+        series,
+    )
+}
+
+/// Figure 16: updates received / updates sent vs `q`.
+#[must_use]
+pub fn fig16(effort: &Effort, seed: u64) -> Figure {
+    let series = q_sweep(effort, seed, |r| Some(r.mean_delivery_ratio()));
+    Figure::new(
+        "Figure 16: Average updates received",
+        "q",
+        "Updates received / total updates sent at source",
+        series,
+    )
+}
+
+/// Figure 17: average update latency (s) vs density Δ at `q = 0.25`.
+#[must_use]
+pub fn fig17(effort: &Effort, seed: u64) -> Figure {
+    let series = delta_sweep(effort, seed, NetRunStats::mean_latency);
+    Figure::new(
+        "Figure 17: Average update latency",
+        "Delta",
+        "Average update latency (s)",
+        series,
+    )
+}
+
+/// Figure 18: updates received / updates sent vs density Δ at `q = 0.25`.
+#[must_use]
+pub fn fig18(effort: &Effort, seed: u64) -> Figure {
+    let series = delta_sweep(effort, seed, |r| Some(r.mean_delivery_ratio()));
+    Figure::new(
+        "Figure 18: Average updates received",
+        "Delta",
+        "Updates received / total updates sent at source",
+        series,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn effort() -> Effort {
+        let mut e = Effort::quick();
+        e.runs = 2;
+        e.net_duration_secs = 150.0;
+        e.q_points = 3;
+        e
+    }
+
+    #[test]
+    fn fig13_energy_shape() {
+        let f = fig13(&effort(), 1);
+        assert_eq!(f.series.len(), 6);
+        let psm = f.series_named("PSM").unwrap().y_at(0.0).unwrap();
+        let nopsm = f.series_named("NO PSM").unwrap().y_at(0.0).unwrap();
+        // At the full 500 s duration the gap reaches the paper's ~2 J; the
+        // quick 150 s preset shrinks the NO-PSM ceiling proportionally.
+        assert!(nopsm > psm + 1.2, "PSM saves energy: {psm} vs {nopsm}");
+        for p in NET_P_VALUES {
+            let s = f.series_named(&format!("PBBF-{p}")).unwrap();
+            assert!(s.is_non_decreasing(0.3), "PBBF-{p} energy rises with q");
+            // PBBF at q=0 is near PSM; at q=1 near NO PSM.
+            assert!(s.y_at(0.0).unwrap() < psm + 1.0);
+            assert!(s.y_at(1.0).unwrap() > nopsm - 1.0);
+        }
+    }
+
+    #[test]
+    fn fig16_reliability_shape() {
+        let f = fig16(&effort(), 2);
+        let psm = f.series_named("PSM").unwrap().y_at(0.0).unwrap();
+        assert!(psm > 0.75, "PSM reliable: {psm}");
+        // Large p suffers at q = 0 and recovers by q = 1.
+        let s = f.series_named("PBBF-0.5").unwrap();
+        assert!(s.y_at(0.0).unwrap() < psm);
+        assert!(s.y_at(1.0).unwrap() > s.y_at(0.0).unwrap());
+    }
+
+    #[test]
+    fn fig17_latency_falls_with_density() {
+        let mut e = effort();
+        e.runs = 2;
+        let f = fig17(&e, 3);
+        let psm = f.series_named("PSM").unwrap();
+        let lo = psm.y_at(8.0).unwrap();
+        let hi = psm.y_at(18.0).unwrap();
+        assert!(hi < lo * 1.2, "denser networks have fewer hops: {lo} -> {hi}");
+        let nopsm = f.series_named("NO PSM").unwrap();
+        assert!(nopsm.y_at(10.0).unwrap() < psm.y_at(10.0).unwrap());
+    }
+}

@@ -1,0 +1,71 @@
+//! Tables 1 and 2: the parameter listings.
+
+use pbbf_core::AnalysisParams;
+use pbbf_metrics::Table;
+use pbbf_net_sim::NetConfig;
+
+/// Table 1: analysis parameter values.
+#[must_use]
+pub fn table1() -> Table {
+    let a = AnalysisParams::table1();
+    let mut t = Table::new(["Parameter", "Value"]);
+    t.row([
+        "N".to_string(),
+        format!("{} ({}x{})", a.node_count(), a.grid_side, a.grid_side),
+    ]);
+    t.row(["P_TX".to_string(), format!("{} mW", a.power.tx * 1e3)]);
+    t.row(["P_I".to_string(), format!("{} mW", a.power.idle * 1e3)]);
+    t.row(["P_S".to_string(), format!("{} uW", a.power.sleep * 1e6)]);
+    t.row(["lambda".to_string(), format!("{} packets/s", a.lambda)]);
+    t.row(["L1".to_string(), format!("~{} s", a.l1)]);
+    t.row(["T_frame".to_string(), format!("{} s", a.schedule.t_frame())]);
+    t.row(["T_active".to_string(), format!("{} s", a.schedule.t_active())]);
+    t
+}
+
+/// Table 2: code-distribution parameter values.
+#[must_use]
+pub fn table2() -> Table {
+    let c = NetConfig::table2();
+    let mut t = Table::new(["Parameter", "Value"]);
+    t.row(["N".to_string(), format!("{}", c.nodes)]);
+    t.row(["q".to_string(), "0.25".to_string()]);
+    t.row(["Delta".to_string(), format!("{}", c.delta)]);
+    t.row([
+        "Total Packet Size".to_string(),
+        format!("{} bytes", c.phy.data_bytes),
+    ]);
+    t.row(["Data Packet Payload".to_string(), "30 bytes".to_string()]);
+    t.row(["k".to_string(), format!("{}", c.k)]);
+    t.row(["Bit rate".to_string(), format!("{} kbps", f64::from(c.phy.bitrate_bps) / 1000.0)]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows_match_paper() {
+        let t = table1();
+        assert_eq!(t.len(), 8);
+        let text = t.render();
+        assert!(text.contains("5625 (75x75)"));
+        assert!(text.contains("81 mW"));
+        assert!(text.contains("30 mW"));
+        assert!(text.contains("3 uW"));
+        assert!(text.contains("0.01 packets/s"));
+        assert!(text.contains("10 s"));
+    }
+
+    #[test]
+    fn table2_rows_match_paper() {
+        let t = table2();
+        let text = t.render();
+        assert!(text.contains("50"));
+        assert!(text.contains("0.25"));
+        assert!(text.contains("64 bytes"));
+        assert!(text.contains("30 bytes"));
+        assert!(text.contains("19.2 kbps"));
+    }
+}

@@ -1,0 +1,311 @@
+//! The per-update frame loop: disseminating one broadcast over the grid.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use pbbf_core::{PbbfParams, PowerProfile, SleepSchedule};
+use pbbf_des::SimRng;
+use pbbf_topology::{NodeId, Topology};
+
+/// Tunables of one dissemination, separated from [`crate::IdealConfig`] so
+/// the ablation benches can toggle individual mechanisms.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DisseminationSetup {
+    pub params: PbbfParams,
+    pub schedule: SleepSchedule,
+    pub power: PowerProfile,
+    /// Channel-access time `L1` (s).
+    pub l1: f64,
+    /// Packet airtime (s).
+    pub t_packet: f64,
+    /// Frames of baseline duty-cycle energy billed to this update
+    /// (`1/(λ·T_frame)` for the steady-state share).
+    pub billing_frames: u32,
+    pub max_frames: u32,
+    /// When false, an immediate forward may not trigger further immediate
+    /// forwards in the same frame (ablation: chaining off). Receptions
+    /// from it are still delivered; their forwards defer to the next
+    /// frame.
+    pub chaining: bool,
+    /// When true the source always uses a normal (announced) broadcast
+    /// regardless of `p` (ablation: Figure-2 source behavior off).
+    pub source_normal_only: bool,
+}
+
+/// Everything measured about one update's dissemination.
+#[derive(Debug, Clone)]
+pub(crate) struct Dissemination {
+    /// Per node: latency from generation to first reception (s) and the
+    /// number of links the delivered copy traversed. The source holds
+    /// `Some((0.0, 0))`.
+    pub received: Vec<Option<(f64, u32)>>,
+    pub immediate_tx: u64,
+    pub normal_tx: u64,
+    /// Immediate forwards that would have overrun the frame and were
+    /// demoted to normal broadcasts.
+    pub deferred_immediates: u64,
+    /// Total energy billed to this update, all nodes (J).
+    pub energy_joules: f64,
+    pub frames_used: u32,
+}
+
+/// Disseminates one update from `source`, consuming randomness from `rng`.
+pub(crate) fn disseminate(
+    topology: &Topology,
+    source: NodeId,
+    setup: &DisseminationSetup,
+    rng: &mut SimRng,
+) -> Dissemination {
+    let n = topology.len();
+    let p = setup.params.p();
+    let q = setup.params.q();
+    let t_active = setup.schedule.t_active();
+    let t_frame = setup.schedule.t_frame();
+    let t_sleep = setup.schedule.t_sleep();
+    let rx_done = t_active + setup.l1 + setup.t_packet;
+
+    // Generation happens mid-ATIM-window of frame 0 (Section 5.1: "new
+    // packets always arrive at the source during the ATIM window").
+    let gen_time = 0.5 * t_active;
+
+    let mut received: Vec<Option<(f64, u32)>> = vec![None; n];
+    received[source.index()] = Some((0.0, 0));
+
+    // Nodes queued to announce + transmit a normal broadcast next frame.
+    let mut pending_normal: Vec<NodeId> = Vec::new();
+    // Immediate forwards scheduled within the current frame:
+    // (tx time in integer ns from frame start, node).
+    let mut imm: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+
+    let mut immediate_tx = 0u64;
+    let mut normal_tx = 0u64;
+    let mut deferred = 0u64;
+    let mut energy = 0.0f64;
+
+    // Per-frame awake bookkeeping (reset each frame).
+    let mut awake_until = vec![0.0f64; n];
+    let mut act_start = vec![f64::INFINITY; n];
+    let mut act_end = vec![0.0f64; n];
+    let mut coin = vec![false; n];
+
+    // The source's own forwarding decision. An immediate source
+    // transmission still happens after the ATIM window (data may not be
+    // sent during the window) but is *unannounced*: only awake neighbors
+    // receive it.
+    let source_immediate = !setup.source_normal_only && rng.chance(p);
+    let mut frame0_normal: Vec<NodeId> = Vec::new();
+    if source_immediate {
+        imm.push(Reverse((secs_to_ns(t_active + setup.l1), source.0)));
+    } else {
+        frame0_normal.push(source);
+    }
+
+    let ns_frame_limit = secs_to_ns(t_frame - setup.t_packet);
+    let mut frame = 0u32;
+    loop {
+        let frame_start = f64::from(frame) * t_frame;
+
+        // ---- Sleep-Decision-Handler coins for this frame's data phase.
+        if q > 0.0 {
+            for c in coin.iter_mut() {
+                *c = rng.chance(q);
+            }
+        } else if frame == 0 {
+            coin.fill(false);
+        }
+
+        // ---- Who transmits a normal (announced) broadcast this frame.
+        let mut normal_now = std::mem::take(&mut pending_normal);
+        if frame == 0 {
+            normal_now.append(&mut frame0_normal);
+        }
+        normal_now.sort_unstable();
+
+        if normal_now.is_empty() && imm.is_empty() {
+            break;
+        }
+
+        // ---- Awake intervals.
+        for (i, au) in awake_until.iter_mut().enumerate() {
+            *au = if coin[i] { t_frame } else { 0.0 };
+            act_start[i] = f64::INFINITY;
+            act_end[i] = 0.0;
+        }
+        for &tx in &normal_now {
+            awake_until[tx.index()] = awake_until[tx.index()].max(rx_done);
+            note_activity(&mut act_start, &mut act_end, tx.index(), t_active, rx_done);
+            for &nb in topology.neighbors(tx) {
+                // Every neighbor heard the ATIM and listens for the data.
+                awake_until[nb.index()] = awake_until[nb.index()].max(rx_done);
+                note_activity(&mut act_start, &mut act_end, nb.index(), t_active, rx_done);
+            }
+        }
+
+        // ---- Normal data transmissions (all at T_active + L1; ideal
+        // channel, no collisions). Every neighbor receives.
+        let t_norm_rx = t_active + setup.l1 + setup.t_packet;
+        for &tx in &normal_now {
+            normal_tx += 1;
+            for &nb in topology.neighbors(tx) {
+                if received[nb.index()].is_some() {
+                    continue; // duplicate: dropped
+                }
+                let hops = received[tx.index()].expect("transmitter holds packet").1 + 1;
+                let latency = frame_start + t_norm_rx - gen_time;
+                received[nb.index()] = Some((latency, hops));
+                decide_forward(
+                    nb,
+                    t_norm_rx,
+                    setup,
+                    p,
+                    rng,
+                    &mut imm,
+                    &mut pending_normal,
+                    &mut deferred,
+                    ns_frame_limit,
+                    true,
+                );
+            }
+        }
+
+        // ---- Immediate forwards, in time order, chaining within the
+        // frame.
+        while let Some(Reverse((t_ns, node_raw))) = imm.pop() {
+            let node = NodeId(node_raw);
+            let t_tx = ns_to_secs(t_ns);
+            let t_rx = t_tx + setup.t_packet;
+            immediate_tx += 1;
+            // The forwarder is awake from its reception through its
+            // transmission.
+            awake_until[node.index()] = awake_until[node.index()].max(t_rx);
+            note_activity(&mut act_start, &mut act_end, node.index(), t_tx - setup.l1, t_rx);
+            for &nb in topology.neighbors(node) {
+                if awake_until[nb.index()] < t_tx {
+                    continue; // asleep: the bond is closed for this copy
+                }
+                if received[nb.index()].is_some() {
+                    continue;
+                }
+                let hops = received[node.index()].expect("forwarder holds packet").1 + 1;
+                let latency = frame_start + t_rx - gen_time;
+                received[nb.index()] = Some((latency, hops));
+                note_activity(&mut act_start, &mut act_end, nb.index(), t_tx, t_rx);
+                decide_forward(
+                    nb,
+                    t_rx,
+                    setup,
+                    p,
+                    rng,
+                    &mut imm,
+                    &mut pending_normal,
+                    &mut deferred,
+                    ns_frame_limit,
+                    setup.chaining,
+                );
+            }
+        }
+
+        // ---- Energy for this frame.
+        let idle = setup.power.idle;
+        let sleep = setup.power.sleep;
+        if frame < setup.billing_frames {
+            // Baseline duty-cycle share billed to this update.
+            for &c in &coin {
+                energy += idle * t_active
+                    + if c {
+                        idle * t_sleep
+                    } else {
+                        sleep * t_sleep
+                    };
+            }
+        }
+        // Marginal activity: awake time the update caused beyond what the
+        // coin (already billed, possibly to another update's window) covers.
+        for i in 0..n {
+            if act_end[i] > 0.0 && !coin[i] {
+                let duration = (act_end[i] - act_start[i].min(act_end[i])).max(0.0);
+                energy += (idle - sleep) * duration;
+            }
+        }
+
+        frame += 1;
+        if frame >= setup.max_frames {
+            break;
+        }
+    }
+
+    // Baseline duty-cycle energy for billing-window frames the
+    // dissemination did not span (the update's steady-state share covers
+    // the full inter-update interval even if the broadcast died early).
+    for _ in frame..setup.billing_frames {
+        for _ in 0..n {
+            let c = q > 0.0 && rng.chance(q);
+            energy += setup.power.idle * t_active
+                + if c {
+                    setup.power.idle * t_sleep
+                } else {
+                    setup.power.sleep * t_sleep
+                };
+        }
+    }
+
+    // Transmission surcharge over idle listening.
+    energy += (setup.power.tx - setup.power.idle)
+        * setup.t_packet
+        * (immediate_tx + normal_tx) as f64;
+
+    Dissemination {
+        received,
+        immediate_tx,
+        normal_tx,
+        deferred_immediates: deferred,
+        energy_joules: energy,
+        frames_used: frame,
+    }
+}
+
+/// `Receive-Broadcast` (Fig. 3) applied inside the frame loop.
+#[allow(clippy::too_many_arguments)]
+fn decide_forward(
+    node: NodeId,
+    now: f64,
+    setup: &DisseminationSetup,
+    p: f64,
+    rng: &mut SimRng,
+    imm: &mut BinaryHeap<Reverse<(u64, u32)>>,
+    pending_normal: &mut Vec<NodeId>,
+    deferred: &mut u64,
+    ns_frame_limit: u64,
+    allow_immediate: bool,
+) {
+    if rng.chance(p) {
+        let t_tx = secs_to_ns(now + setup.l1);
+        if allow_immediate && t_tx <= ns_frame_limit {
+            imm.push(Reverse((t_tx, node.0)));
+        } else {
+            // Would overrun the data phase (or chaining disabled): demote
+            // to a normal broadcast next frame.
+            *deferred += 1;
+            pending_normal.push(node);
+        }
+    } else {
+        pending_normal.push(node);
+    }
+}
+
+fn note_activity(starts: &mut [f64], ends: &mut [f64], i: usize, from: f64, to: f64) {
+    if from < starts[i] {
+        starts[i] = from;
+    }
+    if to > ends[i] {
+        ends[i] = to;
+    }
+}
+
+fn secs_to_ns(s: f64) -> u64 {
+    (s * 1e9).round() as u64
+}
+
+fn ns_to_secs(ns: u64) -> f64 {
+    ns as f64 / 1e9
+}

@@ -1,0 +1,423 @@
+//! The idealized simulator driver.
+
+use pbbf_des::SimRng;
+use pbbf_topology::{Grid, NodeId};
+
+use crate::dissemination::{disseminate, DisseminationSetup};
+use crate::stats::{RunStats, UpdateStats};
+use crate::{IdealConfig, Mode};
+
+/// The Section-4 simulator: a grid network under an ideal MAC/PHY running
+/// either always-on flooding or a sleep-scheduled MAC with PBBF.
+///
+/// Construction builds the grid once; [`IdealSim::run`] executes a seeded,
+/// fully deterministic run of `config.updates` independent update
+/// disseminations.
+#[derive(Debug, Clone)]
+pub struct IdealSim {
+    config: IdealConfig,
+    mode: Mode,
+    grid: Grid,
+    source: NodeId,
+    shortest: Vec<u32>,
+}
+
+impl IdealSim {
+    /// Builds a simulator. The broadcast source is the grid-center node,
+    /// as in the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero grid side).
+    #[must_use]
+    pub fn new(config: IdealConfig, mode: Mode) -> Self {
+        let grid = Grid::square(config.grid_side);
+        let source = grid.center();
+        let shortest = grid
+            .topology()
+            .hop_distances(source)
+            .into_iter()
+            .map(|d| d.expect("grid is connected"))
+            .collect();
+        Self {
+            config,
+            mode,
+            grid,
+            source,
+            shortest,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &IdealConfig {
+        &self.config
+    }
+
+    /// The protocol mode.
+    #[must_use]
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The broadcast source (grid center).
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Runs `config.updates` disseminations; fully determined by `seed`.
+    #[must_use]
+    pub fn run(&self, seed: u64) -> RunStats {
+        self.run_with(seed, true, false)
+    }
+
+    /// Ablation entry point: `chaining` allows immediate forwards to
+    /// trigger further immediate forwards within one frame;
+    /// `source_normal_only` forces the source to announce every update.
+    #[must_use]
+    pub fn run_with(&self, seed: u64, chaining: bool, source_normal_only: bool) -> RunStats {
+        let root = SimRng::new(seed);
+        let updates = (0..self.config.updates)
+            .map(|u| {
+                let mut rng = root.substream(u64::from(u));
+                match self.mode {
+                    Mode::AlwaysOn => self.run_always_on(),
+                    Mode::Gossip { forward_probability } => {
+                        self.run_gossip(forward_probability, &mut rng)
+                    }
+                    Mode::SleepScheduled(params) => {
+                        let a = &self.config.analysis;
+                        let billing_frames =
+                            (1.0 / (a.lambda * a.schedule.t_frame())).round().max(1.0) as u32;
+                        let setup = DisseminationSetup {
+                            params,
+                            schedule: a.schedule,
+                            power: a.power,
+                            l1: a.l1,
+                            t_packet: self.config.t_packet,
+                            billing_frames,
+                            max_frames: self.config.max_frames_per_update,
+                            chaining,
+                            source_normal_only,
+                        };
+                        let d = disseminate(self.grid.topology(), self.source, &setup, &mut rng);
+                        UpdateStats {
+                            received: d.received,
+                            energy_joules_per_node: d.energy_joules
+                                / self.grid.topology().len() as f64,
+                            immediate_tx: d.immediate_tx,
+                            normal_tx: d.normal_tx,
+                            deferred_immediates: d.deferred_immediates,
+                            frames_used: d.frames_used,
+                        }
+                    }
+                }
+            })
+            .collect();
+        RunStats {
+            shortest: self.shortest.clone(),
+            source: self.source,
+            updates,
+        }
+    }
+
+    /// Gossip-based flooding ([5] of the paper): radios always on; each
+    /// node, on first reception, rebroadcasts with probability `g` or
+    /// stays silent for this update — **site** percolation, the model the
+    /// paper's Section 2 contrasts with PBBF's bond percolation. The
+    /// source always transmits.
+    fn run_gossip(&self, g: f64, rng: &mut SimRng) -> UpdateStats {
+        assert!((0.0..=1.0).contains(&g), "forward probability {g} outside [0, 1]");
+        let topo = self.grid.topology();
+        let a = &self.config.analysis;
+        let per_hop = a.l1 + self.config.t_packet;
+        let n = topo.len();
+        let mut received: Vec<Option<(f64, u32)>> = vec![None; n];
+        received[self.source.index()] = Some((0.0, 0));
+        let mut tx = 0u64;
+        // BFS through forwarders; non-forwarders receive but do not extend.
+        let mut frontier = vec![self.source];
+        let mut depth = 0u32;
+        while !frontier.is_empty() {
+            depth += 1;
+            let mut next = Vec::new();
+            for &node in &frontier {
+                tx += 1;
+                for &nb in topo.neighbors(node) {
+                    if received[nb.index()].is_some() {
+                        continue;
+                    }
+                    received[nb.index()] = Some((f64::from(depth) * per_hop, depth));
+                    if rng.chance(g) {
+                        next.push(nb);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        let energy_per_node = a.power.idle / a.lambda
+            + (a.power.tx - a.power.idle) * self.config.t_packet * tx as f64 / n as f64;
+        UpdateStats {
+            received,
+            energy_joules_per_node: energy_per_node,
+            immediate_tx: tx,
+            normal_tx: 0,
+            deferred_immediates: 0,
+            frames_used: 0,
+        }
+    }
+
+    /// `NO PSM`: every radio is always on and every reception is forwarded
+    /// immediately — a deterministic flood along BFS order, with per-hop
+    /// latency `L1 + t_packet` and always-on idle energy.
+    fn run_always_on(&self) -> UpdateStats {
+        let topo = self.grid.topology();
+        let a = &self.config.analysis;
+        let per_hop = a.l1 + self.config.t_packet;
+        let received: Vec<Option<(f64, u32)>> = self
+            .shortest
+            .iter()
+            .map(|&d| Some((f64::from(d) * per_hop, d)))
+            .collect();
+        // Every node except leaves-with-no-fresh-neighbors transmits once
+        // in a flood; in the worst (and standard flooding) case all N
+        // transmit.
+        let tx = topo.len() as u64;
+        let energy_per_node = a.power.idle / a.lambda
+            + (a.power.tx - a.power.idle) * self.config.t_packet * tx as f64 / topo.len() as f64;
+        UpdateStats {
+            received,
+            energy_joules_per_node: energy_per_node,
+            immediate_tx: tx,
+            normal_tx: 0,
+            deferred_immediates: 0,
+            frames_used: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbbf_core::PbbfParams;
+
+    fn small_config(side: u32, updates: u32) -> IdealConfig {
+        let mut c = IdealConfig::table1();
+        c.grid_side = side;
+        c.updates = updates;
+        c
+    }
+
+    #[test]
+    fn psm_delivers_everything_deterministically() {
+        let sim = IdealSim::new(small_config(11, 3), Mode::SleepScheduled(PbbfParams::PSM));
+        let stats = sim.run(1);
+        for u in &stats.updates {
+            assert!(u.received.iter().all(Option::is_some));
+            assert_eq!(u.immediate_tx, 0);
+            // Every node transmits a normal broadcast exactly once.
+            assert_eq!(u.normal_tx, 121);
+        }
+    }
+
+    #[test]
+    fn psm_latency_is_frame_per_hop() {
+        // PSM: source announces in frame 0 (generated mid-window) and
+        // transmits at T_active + L1 + t_pkt; each later hop costs exactly
+        // one frame.
+        let cfg = small_config(11, 1);
+        let sim = IdealSim::new(cfg, Mode::SleepScheduled(PbbfParams::PSM));
+        let stats = sim.run(2);
+        let a = cfg.analysis;
+        let first_hop =
+            a.schedule.t_active() + a.l1 + cfg.t_packet - 0.5 * a.schedule.t_active();
+        let u = &stats.updates[0];
+        for (i, r) in u.received.iter().enumerate() {
+            let (latency, hops) = r.unwrap();
+            let d = stats.shortest[i];
+            assert_eq!(hops, d, "PSM travels shortest paths");
+            if d > 0 {
+                let expected = first_hop + f64::from(d - 1) * a.schedule.t_frame();
+                assert!(
+                    (latency - expected).abs() < 1e-9,
+                    "node {i} at d={d}: {latency} vs {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn always_on_floods_at_l1_per_hop() {
+        let cfg = small_config(9, 2);
+        let sim = IdealSim::new(cfg, Mode::AlwaysOn);
+        let stats = sim.run(3);
+        let per_hop = cfg.analysis.l1 + cfg.t_packet;
+        for u in &stats.updates {
+            for (i, r) in u.received.iter().enumerate() {
+                let (latency, hops) = r.unwrap();
+                assert_eq!(hops, stats.shortest[i]);
+                assert!((latency - f64::from(hops) * per_hop).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn always_on_energy_matches_analysis() {
+        let cfg = small_config(9, 1);
+        let sim = IdealSim::new(cfg, Mode::AlwaysOn);
+        let stats = sim.run(4);
+        let expected = pbbf_core::analysis::joules_per_update_always_on(&cfg.analysis);
+        let got = stats.updates[0].energy_joules_per_node;
+        // Transmission surcharge is tiny but positive.
+        assert!(got >= expected);
+        assert!((got - expected) < 0.01, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn psm_energy_tracks_eq8_baseline() {
+        let cfg = small_config(15, 2);
+        let sim = IdealSim::new(cfg, Mode::SleepScheduled(PbbfParams::PSM));
+        let stats = sim.run(5);
+        let baseline = pbbf_core::analysis::joules_per_update(&cfg.analysis, 0.0);
+        for u in &stats.updates {
+            // Baseline plus a small marginal activity term (two listen
+            // intervals of ~L1 + t_pkt per node per update, at 30 mW).
+            assert!(u.energy_joules_per_node > baseline);
+            assert!(
+                u.energy_joules_per_node < baseline + 0.2,
+                "{} vs baseline {}",
+                u.energy_joules_per_node,
+                baseline
+            );
+        }
+    }
+
+    #[test]
+    fn pbbf_energy_grows_linearly_in_q_and_ignores_p() {
+        let cfg = small_config(15, 3);
+        let mut means = Vec::new();
+        for (p, q) in [(0.25, 0.2), (0.75, 0.2), (0.25, 0.8), (0.75, 0.8)] {
+            let sim = IdealSim::new(
+                cfg,
+                Mode::SleepScheduled(PbbfParams::new(p, q).unwrap()),
+            );
+            let stats = sim.run(6);
+            means.push(stats.mean_energy_per_update());
+        }
+        // Same q, different p: close (the only p-dependence is marginal
+        // activity energy, which shrinks when high p kills the broadcast).
+        assert!((means[0] - means[1]).abs() / means[0] < 0.15);
+        assert!((means[2] - means[3]).abs() / means[2] < 0.08);
+        // Larger q costs much more.
+        assert!(means[2] > means[0] * 2.0);
+    }
+
+    #[test]
+    fn high_p_low_q_loses_updates() {
+        // p = 0.75, q = 0: p_edge = 0.25, far below the bond threshold;
+        // the broadcast dies near the source.
+        let sim = IdealSim::new(
+            small_config(21, 4),
+            Mode::SleepScheduled(PbbfParams::new(0.75, 0.0).unwrap()),
+        );
+        let stats = sim.run(7);
+        let mean = stats.mean_delivered_fraction();
+        assert!(mean < 0.3, "delivered {mean}");
+    }
+
+    #[test]
+    fn high_p_high_q_delivers_fast() {
+        let cfg = small_config(15, 3);
+        let fast = IdealSim::new(
+            cfg,
+            Mode::SleepScheduled(PbbfParams::new(0.75, 1.0).unwrap()),
+        );
+        let slow = IdealSim::new(cfg, Mode::SleepScheduled(PbbfParams::PSM));
+        let f = fast.run(8);
+        let s = slow.run(8);
+        assert!((f.mean_delivered_fraction() - 1.0).abs() < 1e-12);
+        assert!(
+            f.mean_per_hop_latency().unwrap() < s.mean_per_hop_latency().unwrap() / 2.0,
+            "immediate chains should beat one-hop-per-frame PSM"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let sim = IdealSim::new(
+            small_config(13, 3),
+            Mode::SleepScheduled(PbbfParams::new(0.5, 0.5).unwrap()),
+        );
+        let a = sim.run(99);
+        let b = sim.run(99);
+        assert_eq!(a.updates.len(), b.updates.len());
+        for (x, y) in a.updates.iter().zip(&b.updates) {
+            assert_eq!(x.received, y.received);
+            assert_eq!(x.immediate_tx, y.immediate_tx);
+        }
+        let c = sim.run(100);
+        assert!(
+            a.updates
+                .iter()
+                .zip(&c.updates)
+                .any(|(x, y)| x.received != y.received),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn deferred_immediates_become_normals() {
+        // With chaining on and L1 = 1.5 s in a 9 s data phase, chains of
+        // ~6 hops defer the rest; the stats record them.
+        let sim = IdealSim::new(
+            small_config(25, 2),
+            Mode::SleepScheduled(PbbfParams::new(1.0, 1.0).unwrap()),
+        );
+        let stats = sim.run(11);
+        let total_deferred: u64 = stats.updates.iter().map(|u| u.deferred_immediates).sum();
+        assert!(total_deferred > 0, "long grids must overflow the data phase");
+        // Everything still arrives (p_edge = 1).
+        assert!((stats.mean_delivered_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gossip_shows_site_percolation_threshold() {
+        // Site percolation on the square lattice has threshold ~0.593:
+        // gossip at g = 0.3 dies near the source; g = 0.9 blankets the
+        // grid (bimodal behavior of the paper's [5]).
+        let cfg = small_config(21, 4);
+        let low = IdealSim::new(cfg, Mode::Gossip { forward_probability: 0.3 });
+        let high = IdealSim::new(cfg, Mode::Gossip { forward_probability: 0.9 });
+        let frac_low = low.run(13).mean_delivered_fraction();
+        let frac_high = high.run(13).mean_delivered_fraction();
+        assert!(frac_low < 0.4, "subcritical gossip dies: {frac_low}");
+        assert!(frac_high > 0.9, "supercritical gossip blankets: {frac_high}");
+    }
+
+    #[test]
+    fn gossip_at_one_equals_flooding() {
+        let cfg = small_config(11, 2);
+        let gossip = IdealSim::new(cfg, Mode::Gossip { forward_probability: 1.0 }).run(14);
+        let flood = IdealSim::new(cfg, Mode::AlwaysOn).run(14);
+        assert!((gossip.mean_delivered_fraction() - 1.0).abs() < 1e-12);
+        for (g, f) in gossip.updates[0].received.iter().zip(&flood.updates[0].received) {
+            assert_eq!(g.unwrap().1, f.unwrap().1, "same hop counts as flooding");
+        }
+    }
+
+    #[test]
+    fn ablation_chaining_off_slows_dissemination() {
+        let cfg = small_config(21, 3);
+        let sim = IdealSim::new(
+            cfg,
+            Mode::SleepScheduled(PbbfParams::new(1.0, 1.0).unwrap()),
+        );
+        let with = sim.run_with(12, true, false);
+        let without = sim.run_with(12, false, false);
+        assert!(
+            without.mean_per_hop_latency().unwrap() > with.mean_per_hop_latency().unwrap(),
+            "chaining must reduce latency"
+        );
+    }
+}

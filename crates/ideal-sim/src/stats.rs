@@ -1,0 +1,254 @@
+//! Run statistics and the figure-level aggregations.
+
+use pbbf_metrics::Summary;
+use pbbf_topology::NodeId;
+
+/// Everything measured about one update's dissemination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateStats {
+    /// Per node: `(latency from generation, links traversed)` of the first
+    /// delivered copy; `None` if the update never reached the node. The
+    /// source holds `Some((0.0, 0))`.
+    pub received: Vec<Option<(f64, u32)>>,
+    /// Energy billed to this update, averaged per node (J).
+    pub energy_joules_per_node: f64,
+    /// Immediate (unannounced) transmissions.
+    pub immediate_tx: u64,
+    /// Normal (announced) transmissions.
+    pub normal_tx: u64,
+    /// Immediate forwards demoted to normal because they would have
+    /// overrun the data phase.
+    pub deferred_immediates: u64,
+    /// Frames the dissemination occupied.
+    pub frames_used: u32,
+}
+
+impl UpdateStats {
+    /// Fraction of nodes (including the source) that received the update.
+    #[must_use]
+    pub fn delivered_fraction(&self) -> f64 {
+        let n = self.received.len();
+        if n == 0 {
+            return 0.0;
+        }
+        self.received.iter().flatten().count() as f64 / n as f64
+    }
+
+    /// Total transmissions of any kind.
+    #[must_use]
+    pub fn total_tx(&self) -> u64 {
+        self.immediate_tx + self.normal_tx
+    }
+}
+
+/// The result of one seeded run: several updates over one topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Shortest-path (BFS) distance of every node from the source.
+    pub shortest: Vec<u32>,
+    /// The broadcast source.
+    pub source: NodeId,
+    /// Per-update measurements.
+    pub updates: Vec<UpdateStats>,
+}
+
+impl RunStats {
+    /// Figure 4/5 metric: the fraction of updates that reached at least
+    /// `reliability` of all nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reliability` is outside `(0, 1]`.
+    #[must_use]
+    pub fn fraction_of_updates_with_reliability(&self, reliability: f64) -> f64 {
+        assert!(
+            reliability > 0.0 && reliability <= 1.0,
+            "reliability {reliability} outside (0, 1]"
+        );
+        if self.updates.is_empty() {
+            return 0.0;
+        }
+        let hits = self
+            .updates
+            .iter()
+            .filter(|u| u.delivered_fraction() >= reliability - 1e-12)
+            .count();
+        hits as f64 / self.updates.len() as f64
+    }
+
+    /// Figure 8 metric: mean per-node energy per update (J).
+    #[must_use]
+    pub fn mean_energy_per_update(&self) -> f64 {
+        self.updates
+            .iter()
+            .map(|u| u.energy_joules_per_node)
+            .collect::<Summary>()
+            .mean()
+    }
+
+    /// Mean delivered fraction across updates (the Figure 16 metric of the
+    /// realistic simulator, also informative here).
+    #[must_use]
+    pub fn mean_delivered_fraction(&self) -> f64 {
+        self.updates
+            .iter()
+            .map(UpdateStats::delivered_fraction)
+            .collect::<Summary>()
+            .mean()
+    }
+
+    /// Figure 9/10 metric: mean links traversed by delivered copies over
+    /// nodes at shortest distance `d`, together with how many such nodes
+    /// exist and how many were reached. Returns `None` when the grid has
+    /// no node at that distance or none were ever reached.
+    #[must_use]
+    pub fn mean_hops_at_distance(&self, d: u32) -> Option<f64> {
+        let mut s = Summary::new();
+        for u in &self.updates {
+            for (i, r) in u.received.iter().enumerate() {
+                if self.shortest[i] == d {
+                    if let Some((_, hops)) = r {
+                        s.record(f64::from(*hops));
+                    }
+                }
+            }
+        }
+        (!s.is_empty()).then(|| s.mean())
+    }
+
+    /// Number of nodes at shortest distance `d` from the source (the "
+    /// Number of 20-Hop Nodes in Grid" annotation of Figs 9/10).
+    #[must_use]
+    pub fn nodes_at_distance(&self, d: u32) -> usize {
+        self.shortest.iter().filter(|&&x| x == d).count()
+    }
+
+    /// Figure 11 metric: mean per-hop latency (delivery latency divided by
+    /// links traversed) over all delivered non-source copies. `None` if
+    /// nothing was delivered beyond the source.
+    #[must_use]
+    pub fn mean_per_hop_latency(&self) -> Option<f64> {
+        let mut s = Summary::new();
+        for u in &self.updates {
+            for r in u.received.iter().flatten() {
+                let (latency, hops) = *r;
+                if hops > 0 {
+                    s.record(latency / f64::from(hops));
+                }
+            }
+        }
+        (!s.is_empty()).then(|| s.mean())
+    }
+
+    /// Mean delivery latency over nodes at shortest distance `d` (the
+    /// Figure 14/15 metric, applied to the grid). `None` if none reached.
+    #[must_use]
+    pub fn mean_latency_at_distance(&self, d: u32) -> Option<f64> {
+        let mut s = Summary::new();
+        for u in &self.updates {
+            for (i, r) in u.received.iter().enumerate() {
+                if self.shortest[i] == d {
+                    if let Some((latency, _)) = r {
+                        s.record(*latency);
+                    }
+                }
+            }
+        }
+        (!s.is_empty()).then(|| s.mean())
+    }
+
+    /// Mean transmissions per update (for the duplicate-suppression
+    /// ablation).
+    #[must_use]
+    pub fn mean_total_tx(&self) -> f64 {
+        self.updates
+            .iter()
+            .map(|u| u.total_tx() as f64)
+            .collect::<Summary>()
+            .mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with(received: Vec<Vec<Option<(f64, u32)>>>, shortest: Vec<u32>) -> RunStats {
+        RunStats {
+            shortest,
+            source: NodeId(0),
+            updates: received
+                .into_iter()
+                .map(|r| UpdateStats {
+                    received: r,
+                    energy_joules_per_node: 1.0,
+                    immediate_tx: 2,
+                    normal_tx: 3,
+                    deferred_immediates: 0,
+                    frames_used: 1,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn delivered_fraction_counts_source() {
+        let u = UpdateStats {
+            received: vec![Some((0.0, 0)), Some((1.0, 1)), None, None],
+            energy_joules_per_node: 0.0,
+            immediate_tx: 0,
+            normal_tx: 0,
+            deferred_immediates: 0,
+            frames_used: 0,
+        };
+        assert_eq!(u.delivered_fraction(), 0.5);
+        assert_eq!(u.total_tx(), 0);
+    }
+
+    #[test]
+    fn reliability_fraction_thresholds() {
+        let s = stats_with(
+            vec![
+                vec![Some((0.0, 0)), Some((1.0, 1)), Some((2.0, 2))], // 100%
+                vec![Some((0.0, 0)), Some((1.0, 1)), None],           // 66%
+            ],
+            vec![0, 1, 2],
+        );
+        assert_eq!(s.fraction_of_updates_with_reliability(1.0), 0.5);
+        assert_eq!(s.fraction_of_updates_with_reliability(0.6), 1.0);
+    }
+
+    #[test]
+    fn hops_and_latency_aggregations() {
+        let s = stats_with(
+            vec![vec![
+                Some((0.0, 0)),
+                Some((10.0, 1)),
+                Some((40.0, 4)), // stretched path to a d=2 node
+            ]],
+            vec![0, 1, 2],
+        );
+        assert_eq!(s.mean_hops_at_distance(2), Some(4.0));
+        assert_eq!(s.mean_hops_at_distance(1), Some(1.0));
+        assert_eq!(s.mean_hops_at_distance(9), None);
+        assert_eq!(s.nodes_at_distance(2), 1);
+        // Per-hop: (10/1 + 40/4) / 2 = 10.
+        assert_eq!(s.mean_per_hop_latency(), Some(10.0));
+        assert_eq!(s.mean_latency_at_distance(2), Some(40.0));
+    }
+
+    #[test]
+    fn empty_updates_are_neutral() {
+        let s = stats_with(vec![], vec![0, 1]);
+        assert_eq!(s.fraction_of_updates_with_reliability(0.9), 0.0);
+        assert_eq!(s.mean_energy_per_update(), 0.0);
+        assert_eq!(s.mean_per_hop_latency(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn invalid_reliability_panics() {
+        let s = stats_with(vec![], vec![]);
+        let _ = s.fraction_of_updates_with_reliability(0.0);
+    }
+}

@@ -1,0 +1,394 @@
+//! Per-node MAC bookkeeping: queues, flags and PBBF decisions.
+
+use pbbf_core::{DuplicateFilter, ForwardDecision, PbbfEngine, PbbfParams};
+use pbbf_des::SimRng;
+
+/// What a node wants from its next data transmission opportunity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataIntent {
+    /// An announced (ATIM-preceded) broadcast: every neighbor is awake.
+    Normal,
+    /// A PBBF immediate broadcast: only awake neighbors receive.
+    Immediate,
+}
+
+/// One node's MAC/application state for the code-distribution workload.
+///
+/// Tracks the update ids the node knows, the pending
+/// announce/normal/immediate sends, and makes the Figure-3 PBBF decisions.
+/// Send *contents* are built lazily at transmission time: a data packet
+/// carries the `k` most recent updates the node knows (Section 5.1), so a
+/// queued send automatically carries anything fresh that arrived while it
+/// waited.
+///
+/// # Examples
+///
+/// ```
+/// use pbbf_core::PbbfParams;
+/// use pbbf_des::SimRng;
+/// use pbbf_mac::MacState;
+///
+/// let mut mac = MacState::new(PbbfParams::PSM, SimRng::new(1));
+/// // Fresh update arrives: PSM always queues a normal broadcast.
+/// let fresh = mac.receive_data(&[0]);
+/// assert_eq!(fresh, vec![0]);
+/// assert!(mac.wants_announce());
+/// // At the next frame start the announce turns into a pending send.
+/// assert!(mac.begin_frame());
+/// assert_eq!(mac.packet_contents(1), vec![0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MacState {
+    engine: PbbfEngine<SimRng>,
+    dup: DuplicateFilter,
+    /// Every update id this node has received, ascending.
+    known: Vec<u64>,
+    /// A normal broadcast is queued for the *next* ATIM window.
+    announce_pending: bool,
+    /// A normal broadcast was announced this interval and awaits its data
+    /// transmission.
+    send_normal: bool,
+    /// An immediate broadcast awaits transmission.
+    send_immediate: bool,
+    /// The node completed its normal data transmission this interval.
+    sent_normal_this_frame: bool,
+    /// An ATIM was heard in the current window (`DataToRecv`).
+    atim_received: bool,
+}
+
+impl MacState {
+    /// Creates the state for a node running PBBF with `params`.
+    #[must_use]
+    pub fn new(params: PbbfParams, rng: SimRng) -> Self {
+        Self {
+            engine: PbbfEngine::new(params, rng),
+            dup: DuplicateFilter::unbounded(),
+            known: Vec::new(),
+            announce_pending: false,
+            send_normal: false,
+            send_immediate: false,
+            sent_normal_this_frame: false,
+            atim_received: false,
+        }
+    }
+
+    /// The configured PBBF parameters.
+    #[must_use]
+    pub fn params(&self) -> PbbfParams {
+        self.engine.params()
+    }
+
+    /// Replaces the PBBF parameters in force — the hook used by the
+    /// adaptive controller of `pbbf_core::adaptive` (the paper's
+    /// Section-6 extension).
+    pub fn set_params(&mut self, params: PbbfParams) {
+        self.engine.set_params(params);
+    }
+
+    /// Number of sequence holes in the received updates: update ids the
+    /// node can prove it missed because a later id has arrived. The
+    /// adaptive controller's loss signal.
+    #[must_use]
+    pub fn sequence_holes(&self) -> u64 {
+        match self.known.last() {
+            Some(&max) => max + 1 - self.known.len() as u64,
+            None => 0,
+        }
+    }
+
+    /// All update ids this node has received, ascending.
+    #[must_use]
+    pub fn known_updates(&self) -> &[u64] {
+        &self.known
+    }
+
+    /// Whether this node wants to send an ATIM at the next window.
+    #[must_use]
+    pub fn wants_announce(&self) -> bool {
+        self.announce_pending || self.send_normal
+    }
+
+    /// Whether a normal data send is pending in the current interval.
+    #[must_use]
+    pub fn has_pending_normal(&self) -> bool {
+        self.send_normal
+    }
+
+    /// Whether an immediate data send is pending.
+    #[must_use]
+    pub fn has_pending_immediate(&self) -> bool {
+        self.send_immediate
+    }
+
+    /// Called at every beacon-interval start. Promotes a pending announce
+    /// into this interval's normal send and resets per-interval flags.
+    /// Returns `true` if the node should contend to transmit an ATIM in
+    /// this window.
+    pub fn begin_frame(&mut self) -> bool {
+        if self.announce_pending {
+            self.announce_pending = false;
+            self.send_normal = true;
+        }
+        self.sent_normal_this_frame = false;
+        self.atim_received = false;
+        self.send_normal
+    }
+
+    /// Records that an ATIM was heard in this window.
+    pub fn receive_atim(&mut self) {
+        self.atim_received = true;
+    }
+
+    /// The Figure-3 `Sleep-Decision-Handler`, evaluated at the end of the
+    /// ATIM window: `true` means stay awake for the data phase.
+    pub fn sleep_decision(&mut self) -> bool {
+        let data_to_send = self.send_normal || self.send_immediate;
+        let data_to_recv = self.atim_received;
+        self.engine.stay_on_after_active(data_to_send, data_to_recv)
+    }
+
+    /// Processes the update ids of a received data packet. Returns the
+    /// ids that were fresh (never seen before); when any are fresh, the
+    /// Figure-3 `Receive-Broadcast` coin queues a forward.
+    pub fn receive_data(&mut self, updates: &[u64]) -> Vec<u64> {
+        let fresh: Vec<u64> = updates
+            .iter()
+            .copied()
+            .filter(|&id| self.dup.first_sighting(id))
+            .collect();
+        if fresh.is_empty() {
+            return fresh;
+        }
+        for &id in &fresh {
+            match self.known.binary_search(&id) {
+                Ok(_) => {}
+                Err(pos) => self.known.insert(pos, id),
+            }
+        }
+        match self.engine.on_receive_broadcast() {
+            ForwardDecision::SendImmediately => self.send_immediate = true,
+            ForwardDecision::EnqueueForNextActiveWindow => {
+                // If a normal send is already queued (this frame or the
+                // next) the fresh ids ride along — contents are built at
+                // send time. Otherwise queue an announce for the next
+                // window (also the case when this frame's send already
+                // happened).
+                if !self.send_normal && !self.announce_pending {
+                    self.announce_pending = true;
+                }
+            }
+        }
+        fresh
+    }
+
+    /// Source-side entry: a new update was generated here. Returns the
+    /// PBBF forwarding decision for it (the source applies `p` like any
+    /// forwarder — the paper's Figure 2).
+    pub fn source_update(&mut self, id: u64) -> ForwardDecision {
+        let first = self.dup.first_sighting(id);
+        debug_assert!(first, "source generated a duplicate id {id}");
+        match self.known.binary_search(&id) {
+            Ok(_) => {}
+            Err(pos) => self.known.insert(pos, id),
+        }
+        let decision = self.engine.on_receive_broadcast();
+        match decision {
+            ForwardDecision::SendImmediately => self.send_immediate = true,
+            ForwardDecision::EnqueueForNextActiveWindow => self.announce_pending = true,
+        }
+        decision
+    }
+
+    /// Promotes a pending (source, in-window) announce into the *current*
+    /// interval: the paper's source announces updates in the window they
+    /// arrive in ("they are sent with a delay of about AW").
+    pub fn announce_now(&mut self) {
+        if self.announce_pending {
+            self.announce_pending = false;
+            self.send_normal = true;
+        }
+    }
+
+    /// The `k` most recent updates this node knows — the contents of its
+    /// next data packet (Section 5.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn packet_contents(&self, k: usize) -> Vec<u64> {
+        assert!(k > 0, "packets must carry at least one update");
+        let start = self.known.len().saturating_sub(k);
+        self.known[start..].to_vec()
+    }
+
+    /// Marks the pending normal send as completed.
+    pub fn mark_normal_sent(&mut self) {
+        self.send_normal = false;
+        self.sent_normal_this_frame = true;
+    }
+
+    /// Marks the pending immediate send as completed.
+    pub fn mark_immediate_sent(&mut self) {
+        self.send_immediate = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn psm() -> MacState {
+        MacState::new(PbbfParams::PSM, SimRng::new(1))
+    }
+
+    fn always_immediate() -> MacState {
+        MacState::new(PbbfParams::new(1.0, 1.0).unwrap(), SimRng::new(2))
+    }
+
+    #[test]
+    fn fresh_and_duplicate_data() {
+        let mut m = psm();
+        assert_eq!(m.receive_data(&[1, 2]), vec![1, 2]);
+        assert_eq!(m.receive_data(&[2, 3]), vec![3]);
+        assert!(m.receive_data(&[1, 2, 3]).is_empty());
+        assert_eq!(m.known_updates(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn psm_queues_normal_forward() {
+        let mut m = psm();
+        m.receive_data(&[7]);
+        assert!(m.wants_announce());
+        assert!(!m.has_pending_immediate());
+        assert!(m.begin_frame(), "announce at next frame start");
+        assert!(m.has_pending_normal());
+        m.mark_normal_sent();
+        assert!(!m.has_pending_normal());
+        assert!(!m.wants_announce());
+    }
+
+    #[test]
+    fn immediate_decision_sets_pending_immediate() {
+        let mut m = always_immediate();
+        m.receive_data(&[5]);
+        assert!(m.has_pending_immediate());
+        assert!(!m.wants_announce());
+        m.mark_immediate_sent();
+        assert!(!m.has_pending_immediate());
+    }
+
+    #[test]
+    fn duplicates_never_trigger_forwarding() {
+        let mut m = always_immediate();
+        m.receive_data(&[5]);
+        m.mark_immediate_sent();
+        assert!(m.receive_data(&[5]).is_empty());
+        assert!(!m.has_pending_immediate(), "duplicate must not re-queue");
+    }
+
+    #[test]
+    fn fresh_after_sent_queues_next_interval() {
+        let mut m = psm();
+        m.receive_data(&[1]);
+        m.begin_frame();
+        m.mark_normal_sent();
+        // A later fresh update in the same interval queues a new announce.
+        m.receive_data(&[2]);
+        assert!(m.wants_announce());
+        assert!(!m.has_pending_normal(), "not until next frame");
+        assert!(m.begin_frame());
+        assert!(m.has_pending_normal());
+    }
+
+    #[test]
+    fn packet_contents_k_most_recent() {
+        let mut m = psm();
+        m.receive_data(&[1, 4, 2, 9]);
+        assert_eq!(m.packet_contents(1), vec![9]);
+        assert_eq!(m.packet_contents(2), vec![4, 9]);
+        assert_eq!(m.packet_contents(10), vec![1, 2, 4, 9]);
+    }
+
+    #[test]
+    fn sleep_decision_follows_fig3() {
+        // PSM with nothing pending sleeps.
+        let mut m = psm();
+        m.begin_frame();
+        assert!(!m.sleep_decision());
+        // Pending send keeps the node on.
+        m.receive_data(&[1]);
+        m.begin_frame();
+        assert!(m.sleep_decision());
+        // Heard ATIM keeps the node on.
+        let mut m2 = psm();
+        m2.begin_frame();
+        m2.receive_atim();
+        assert!(m2.sleep_decision());
+        // q = 1 always stays on.
+        let mut m3 = MacState::new(PbbfParams::new(0.0, 1.0).unwrap(), SimRng::new(3));
+        m3.begin_frame();
+        assert!(m3.sleep_decision());
+    }
+
+    #[test]
+    fn atim_flag_resets_each_frame() {
+        let mut m = psm();
+        m.receive_atim();
+        m.begin_frame();
+        assert!(!m.sleep_decision(), "flag must not leak across frames");
+    }
+
+    #[test]
+    fn source_update_decides_and_records() {
+        let mut m = psm();
+        let d = m.source_update(0);
+        assert_eq!(d, ForwardDecision::EnqueueForNextActiveWindow);
+        assert!(m.wants_announce());
+        m.announce_now();
+        assert!(m.has_pending_normal());
+        assert_eq!(m.known_updates(), &[0]);
+
+        let mut s = always_immediate();
+        assert_eq!(s.source_update(0), ForwardDecision::SendImmediately);
+        assert!(s.has_pending_immediate());
+    }
+
+    #[test]
+    fn unsent_normal_reannounces_next_frame() {
+        let mut m = psm();
+        m.receive_data(&[1]);
+        assert!(m.begin_frame());
+        // Data phase passed without a successful transmission:
+        assert!(m.begin_frame(), "still wants to announce");
+        assert!(m.has_pending_normal());
+    }
+
+    #[test]
+    fn sequence_holes_counts_provable_misses() {
+        let mut m = psm();
+        assert_eq!(m.sequence_holes(), 0);
+        m.receive_data(&[0, 1]);
+        assert_eq!(m.sequence_holes(), 0);
+        m.receive_data(&[4]);
+        assert_eq!(m.sequence_holes(), 2, "ids 2 and 3 provably missed");
+        m.receive_data(&[2]);
+        assert_eq!(m.sequence_holes(), 1);
+    }
+
+    #[test]
+    fn set_params_switches_decisions() {
+        let mut m = psm();
+        m.set_params(PbbfParams::new(1.0, 1.0).unwrap());
+        m.receive_data(&[9]);
+        assert!(m.has_pending_immediate(), "now always-immediate");
+        assert_eq!(m.params(), PbbfParams::new(1.0, 1.0).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one update")]
+    fn zero_k_panics() {
+        let m = psm();
+        let _ = m.packet_contents(0);
+    }
+}

@@ -1,0 +1,169 @@
+//! The synchronized beacon-interval / ATIM-window clock.
+
+use pbbf_des::{SimDuration, SimTime};
+
+/// Frame timing shared by all (perfectly synchronized) nodes.
+///
+/// Every beacon interval (`BI`) starts with an ATIM window (`AW`) in which
+/// all nodes are awake and only management frames are exchanged; data
+/// frames may only be transmitted in the remainder of the interval.
+///
+/// # Examples
+///
+/// ```
+/// use pbbf_des::{SimDuration, SimTime};
+/// use pbbf_mac::PsmTiming;
+///
+/// let t = PsmTiming::new(
+///     SimDuration::from_secs(10.0),
+///     SimDuration::from_secs(1.0),
+/// );
+/// let instant = SimTime::from_secs(25.0);
+/// assert_eq!(t.frame_index(instant), 2);
+/// assert!(!t.in_atim_window(instant));
+/// assert_eq!(t.next_frame_start(instant), SimTime::from_secs(30.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PsmTiming {
+    beacon_interval: SimDuration,
+    atim_window: SimDuration,
+}
+
+impl PsmTiming {
+    /// Creates the clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either duration is zero or the window does not fit in the
+    /// interval.
+    #[must_use]
+    pub fn new(beacon_interval: SimDuration, atim_window: SimDuration) -> Self {
+        assert!(!beacon_interval.is_zero(), "zero beacon interval");
+        assert!(!atim_window.is_zero(), "zero ATIM window");
+        assert!(
+            atim_window < beacon_interval,
+            "ATIM window {atim_window} does not fit in beacon interval {beacon_interval}"
+        );
+        Self {
+            beacon_interval,
+            atim_window,
+        }
+    }
+
+    /// The Table-1 timing: 10 s beacon intervals, 1 s ATIM windows.
+    #[must_use]
+    pub fn table1() -> Self {
+        Self::new(SimDuration::from_secs(10.0), SimDuration::from_secs(1.0))
+    }
+
+    /// Beacon interval length.
+    #[must_use]
+    pub fn beacon_interval(&self) -> SimDuration {
+        self.beacon_interval
+    }
+
+    /// ATIM window length.
+    #[must_use]
+    pub fn atim_window(&self) -> SimDuration {
+        self.atim_window
+    }
+
+    /// Index of the beacon interval containing `now` (0-based).
+    #[must_use]
+    pub fn frame_index(&self, now: SimTime) -> u64 {
+        now.as_nanos() / self.beacon_interval.as_nanos()
+    }
+
+    /// Start of the beacon interval containing `now`.
+    #[must_use]
+    pub fn frame_start(&self, now: SimTime) -> SimTime {
+        SimTime::from_nanos(self.frame_index(now) * self.beacon_interval.as_nanos())
+    }
+
+    /// Start of the beacon interval after the one containing `now`.
+    #[must_use]
+    pub fn next_frame_start(&self, now: SimTime) -> SimTime {
+        self.frame_start(now) + self.beacon_interval
+    }
+
+    /// End of the ATIM window of the beacon interval containing `now`.
+    #[must_use]
+    pub fn window_end(&self, now: SimTime) -> SimTime {
+        self.frame_start(now) + self.atim_window
+    }
+
+    /// Whether `now` lies inside an ATIM window.
+    #[must_use]
+    pub fn in_atim_window(&self, now: SimTime) -> bool {
+        now < self.window_end(now)
+    }
+
+    /// The earliest instant at or after `now` at which data transmission
+    /// is permitted (outside any ATIM window).
+    #[must_use]
+    pub fn earliest_data_time(&self, now: SimTime) -> SimTime {
+        if self.in_atim_window(now) {
+            self.window_end(now)
+        } else {
+            now
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t1() -> PsmTiming {
+        PsmTiming::table1()
+    }
+
+    fn at(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn frame_indexing() {
+        let t = t1();
+        assert_eq!(t.frame_index(at(0.0)), 0);
+        assert_eq!(t.frame_index(at(9.999)), 0);
+        assert_eq!(t.frame_index(at(10.0)), 1);
+        assert_eq!(t.frame_index(at(123.4)), 12);
+        assert_eq!(t.frame_start(at(123.4)), at(120.0));
+        assert_eq!(t.next_frame_start(at(123.4)), at(130.0));
+    }
+
+    #[test]
+    fn atim_window_membership() {
+        let t = t1();
+        assert!(t.in_atim_window(at(0.0)));
+        assert!(t.in_atim_window(at(0.999)));
+        assert!(!t.in_atim_window(at(1.0)));
+        assert!(!t.in_atim_window(at(9.5)));
+        assert!(t.in_atim_window(at(10.5)));
+        assert_eq!(t.window_end(at(10.5)), at(11.0));
+        assert_eq!(t.window_end(at(15.0)), at(11.0));
+    }
+
+    #[test]
+    fn earliest_data_time_defers_window() {
+        let t = t1();
+        assert_eq!(t.earliest_data_time(at(0.5)), at(1.0));
+        assert_eq!(t.earliest_data_time(at(3.0)), at(3.0));
+        assert_eq!(t.earliest_data_time(at(20.2)), at(21.0));
+    }
+
+    #[test]
+    fn boundary_of_next_frame() {
+        let t = t1();
+        // Exactly at a frame start: inside the new window.
+        assert!(t.in_atim_window(at(10.0)));
+        assert_eq!(t.frame_start(at(10.0)), at(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn window_must_fit() {
+        let _ = PsmTiming::new(SimDuration::from_secs(1.0), SimDuration::from_secs(2.0));
+    }
+}

@@ -1,0 +1,218 @@
+//! Student-t confidence intervals over run means.
+//!
+//! The paper averages every data point over ten independent simulation runs
+//! (Section 5.1). The experiment drivers in this workspace report a 95%
+//! confidence interval alongside each mean so that reproduction noise is
+//! visible in the regenerated tables.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Summary;
+
+/// Two-sided Student-t quantile `t_{alpha/2, df}` for the usual confidence
+/// levels, via a small table plus the normal approximation for large `df`.
+///
+/// Supported confidence levels are 0.90, 0.95 and 0.99; other levels fall
+/// back to the normal quantile of the nearest supported level. This is
+/// deliberately a table: the workspace needs exactly these three levels and
+/// an incomplete-beta implementation would be unwarranted surface area.
+///
+/// # Panics
+///
+/// Panics if `df == 0`.
+#[must_use]
+pub fn students_t_quantile(confidence: f64, df: u64) -> f64 {
+    assert!(df > 0, "t quantile requires at least one degree of freedom");
+    // Rows: df 1..=30, then selected large df handled below.
+    // Columns: 90% (t_{0.05}), 95% (t_{0.025}), 99% (t_{0.005}).
+    const TABLE: [[f64; 3]; 30] = [
+        [6.314, 12.706, 63.657],
+        [2.920, 4.303, 9.925],
+        [2.353, 3.182, 5.841],
+        [2.132, 2.776, 4.604],
+        [2.015, 2.571, 4.032],
+        [1.943, 2.447, 3.707],
+        [1.895, 2.365, 3.499],
+        [1.860, 2.306, 3.355],
+        [1.833, 2.262, 3.250],
+        [1.812, 2.228, 3.169],
+        [1.796, 2.201, 3.106],
+        [1.782, 2.179, 3.055],
+        [1.771, 2.160, 3.012],
+        [1.761, 2.145, 2.977],
+        [1.753, 2.131, 2.947],
+        [1.746, 2.120, 2.921],
+        [1.740, 2.110, 2.898],
+        [1.734, 2.101, 2.878],
+        [1.729, 2.093, 2.861],
+        [1.725, 2.086, 2.845],
+        [1.721, 2.080, 2.831],
+        [1.717, 2.074, 2.819],
+        [1.714, 2.069, 2.807],
+        [1.711, 2.064, 2.797],
+        [1.708, 2.060, 2.787],
+        [1.706, 2.056, 2.779],
+        [1.703, 2.052, 2.771],
+        [1.701, 2.048, 2.763],
+        [1.699, 2.045, 2.756],
+        [1.697, 2.042, 2.750],
+    ];
+    const NORMAL: [f64; 3] = [1.645, 1.960, 2.576];
+
+    let col = if confidence >= 0.985 {
+        2
+    } else if confidence >= 0.925 {
+        1
+    } else {
+        0
+    };
+    if df <= 30 {
+        TABLE[(df - 1) as usize][col]
+    } else if df <= 120 {
+        // Linear interpolation between df=30 and the normal asymptote is
+        // accurate to ~1% here, far below simulation noise.
+        let t30 = TABLE[29][col];
+        let z = NORMAL[col];
+        let frac = (df - 30) as f64 / 90.0;
+        t30 + (z - t30) * frac
+    } else {
+        NORMAL[col]
+    }
+}
+
+/// A mean together with a symmetric confidence half-width.
+///
+/// # Examples
+///
+/// ```
+/// use pbbf_metrics::{ConfidenceInterval, Summary};
+///
+/// let runs: Summary = [10.0, 11.0, 9.0, 10.5, 9.5].into_iter().collect();
+/// let ci = ConfidenceInterval::from_summary(&runs, 0.95);
+/// assert!((ci.mean - 10.0).abs() < 1e-9);
+/// assert!(ci.half_width > 0.0);
+/// assert!(ci.contains(10.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Point estimate (sample mean).
+    pub mean: f64,
+    /// Half-width of the two-sided interval at the requested confidence.
+    pub half_width: f64,
+    /// Confidence level the interval was computed at, e.g. `0.95`.
+    pub confidence: f64,
+    /// Number of observations behind the estimate.
+    pub count: u64,
+}
+
+impl ConfidenceInterval {
+    /// Computes the interval for the mean of the observations in `summary`.
+    ///
+    /// With fewer than two observations the half-width is zero (there is no
+    /// variance estimate), mirroring how the paper plots single-run points.
+    #[must_use]
+    pub fn from_summary(summary: &Summary, confidence: f64) -> Self {
+        let half_width = if summary.count() < 2 {
+            0.0
+        } else {
+            students_t_quantile(confidence, summary.count() - 1) * summary.standard_error()
+        };
+        Self {
+            mean: summary.mean(),
+            half_width,
+            confidence,
+            count: summary.count(),
+        }
+    }
+
+    /// Lower endpoint of the interval.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper endpoint of the interval.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Whether `value` lies inside the interval (inclusive).
+    #[must_use]
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lo() && value <= self.hi()
+    }
+}
+
+impl core::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.mean, self.half_width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_quantile_small_df_matches_table() {
+        assert_eq!(students_t_quantile(0.95, 1), 12.706);
+        assert_eq!(students_t_quantile(0.95, 9), 2.262);
+        assert_eq!(students_t_quantile(0.90, 9), 1.833);
+        assert_eq!(students_t_quantile(0.99, 9), 3.250);
+    }
+
+    #[test]
+    fn t_quantile_large_df_approaches_normal() {
+        assert_eq!(students_t_quantile(0.95, 10_000), 1.960);
+        assert_eq!(students_t_quantile(0.90, 10_000), 1.645);
+        assert_eq!(students_t_quantile(0.99, 10_000), 2.576);
+    }
+
+    #[test]
+    fn t_quantile_monotone_in_confidence() {
+        for df in [1, 5, 10, 30, 100] {
+            let t90 = students_t_quantile(0.90, df);
+            let t95 = students_t_quantile(0.95, df);
+            let t99 = students_t_quantile(0.99, df);
+            assert!(t90 < t95 && t95 < t99, "df={df}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degree of freedom")]
+    fn t_quantile_zero_df_panics() {
+        let _ = students_t_quantile(0.95, 0);
+    }
+
+    #[test]
+    fn interval_from_ten_runs() {
+        // Ten runs as in the paper's methodology.
+        let s: Summary = (0..10).map(|i| 5.0 + 0.1 * i as f64).collect();
+        let ci = ConfidenceInterval::from_summary(&s, 0.95);
+        assert_eq!(ci.count, 10);
+        assert!((ci.mean - 5.45).abs() < 1e-12);
+        // half-width = t_{.025,9} * sd/sqrt(10)
+        let expected = 2.262 * s.sample_stddev() / 10_f64.sqrt();
+        assert!((ci.half_width - expected).abs() < 1e-12);
+        assert!(ci.contains(ci.mean));
+        assert!(ci.lo() < ci.hi());
+    }
+
+    #[test]
+    fn interval_single_run_has_zero_width() {
+        let mut s = Summary::new();
+        s.record(3.0);
+        let ci = ConfidenceInterval::from_summary(&s, 0.95);
+        assert_eq!(ci.half_width, 0.0);
+        assert_eq!(ci.lo(), ci.hi());
+    }
+
+    #[test]
+    fn display_formats() {
+        let s: Summary = [1.0, 2.0, 3.0].into_iter().collect();
+        let ci = ConfidenceInterval::from_summary(&s, 0.95);
+        let text = ci.to_string();
+        assert!(text.contains('±'), "{text}");
+    }
+}

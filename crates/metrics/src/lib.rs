@@ -1,0 +1,50 @@
+//! Statistics and reporting substrate for the PBBF reproduction.
+//!
+//! The simulators in this workspace (the idealized Section-4 simulator and
+//! the realistic Section-5 discrete-event simulator) produce large numbers
+//! of per-node, per-update observations. This crate provides the small,
+//! dependency-free numerical toolkit used to aggregate those observations
+//! into the rows of the paper's tables and the series of its figures:
+//!
+//! * [`Summary`] — streaming (Welford) mean/variance/min/max accumulator.
+//! * [`ConfidenceInterval`] — Student-t confidence intervals over run means.
+//! * [`Histogram`] — fixed-width binned distribution with quantiles.
+//! * [`StateClock`] — time-weighted accounting of how long an entity spent
+//!   in each of a set of states (used for radio energy accounting).
+//! * [`Series`], [`Figure`] — labelled `(x, y)` data with CSV and ASCII
+//!   rendering so every experiment can print the same rows the paper plots.
+//! * [`Table`] — aligned plain-text tables for paper-style parameter lists.
+//!
+//! All types are plain data with no interior mutability and implement
+//! `serde` traits so experiment results can be archived as JSON.
+//!
+//! # Examples
+//!
+//! ```
+//! use pbbf_metrics::Summary;
+//!
+//! let mut s = Summary::new();
+//! for x in [1.0, 2.0, 3.0, 4.0] {
+//!     s.record(x);
+//! }
+//! assert_eq!(s.mean(), 2.5);
+//! assert_eq!(s.count(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ci;
+mod histogram;
+mod plot;
+mod series;
+mod stateclock;
+mod summary;
+mod table;
+
+pub use ci::{students_t_quantile, ConfidenceInterval};
+pub use histogram::Histogram;
+pub use series::{Figure, Point, Series};
+pub use stateclock::StateClock;
+pub use summary::Summary;
+pub use table::Table;

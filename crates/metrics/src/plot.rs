@@ -1,0 +1,142 @@
+//! Terminal (ASCII) rendering of figures.
+//!
+//! The experiment drivers print exact rows; for eyeballing shapes —
+//! threshold staircases, cross-overs, linear energy growth — a rough
+//! terminal plot is far quicker to read. One character cell per grid
+//! point, one glyph per series.
+
+use crate::Figure;
+
+/// Glyphs assigned to series in order.
+const GLYPHS: [char; 10] = ['*', 'o', '+', 'x', '#', '@', '%', '&', '=', '~'];
+
+impl Figure {
+    /// Renders the figure as an ASCII plot of the given character size.
+    ///
+    /// Each series draws with its own glyph (see the legend below the
+    /// plot); later series overdraw earlier ones on collisions. Returns a
+    /// note instead of a plot when the figure has no finite points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is smaller than 8 (no usable canvas).
+    #[must_use]
+    pub fn render_ascii_plot(&self, width: usize, height: usize) -> String {
+        assert!(width >= 8 && height >= 8, "canvas too small: {width}x{height}");
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| (p.x, p.y)))
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if pts.is_empty() {
+            return format!("# {} — no data to plot\n", self.title);
+        }
+        let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (x, y) in &pts {
+            x_lo = x_lo.min(*x);
+            x_hi = x_hi.max(*x);
+            y_lo = y_lo.min(*y);
+            y_hi = y_hi.max(*y);
+        }
+        if (x_hi - x_lo).abs() < f64::EPSILON {
+            x_hi = x_lo + 1.0;
+        }
+        if (y_hi - y_lo).abs() < f64::EPSILON {
+            y_hi = y_lo + 1.0;
+        }
+
+        let mut canvas = vec![vec![' '; width]; height];
+        for (si, series) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for p in &series.points {
+                if !p.x.is_finite() || !p.y.is_finite() {
+                    continue;
+                }
+                let cx = (((p.x - x_lo) / (x_hi - x_lo)) * (width - 1) as f64).round() as usize;
+                let cy = (((p.y - y_lo) / (y_hi - y_lo)) * (height - 1) as f64).round() as usize;
+                canvas[height - 1 - cy][cx] = glyph;
+            }
+        }
+
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        out.push_str(&format!("{y_hi:>10.3} ┤"));
+        out.push_str(&canvas[0].iter().collect::<String>());
+        out.push('\n');
+        for row in &canvas[1..height - 1] {
+            out.push_str("           │");
+            out.push_str(&row.iter().collect::<String>());
+            out.push('\n');
+        }
+        out.push_str(&format!("{y_lo:>10.3} ┤"));
+        out.push_str(&canvas[height - 1].iter().collect::<String>());
+        out.push('\n');
+        out.push_str(&format!(
+            "           └{}\n            {x_lo:<10.3}{:>w$.3}\n",
+            "─".repeat(width),
+            x_hi,
+            w = width.saturating_sub(10)
+        ));
+        for (si, s) in self.series.iter().enumerate() {
+            out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.label));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Figure, Series};
+
+    fn fig() -> Figure {
+        let mut a = Series::new("rising");
+        let mut b = Series::new("flat");
+        for i in 0..=10 {
+            let x = i as f64 / 10.0;
+            a.push(x, x * x);
+            b.push(x, 0.5);
+        }
+        Figure::new("Shapes", "x", "y", vec![a, b])
+    }
+
+    #[test]
+    fn plot_contains_title_legend_and_glyphs() {
+        let text = fig().render_ascii_plot(40, 12);
+        assert!(text.contains("# Shapes"));
+        assert!(text.contains("* rising"));
+        assert!(text.contains("o flat"));
+        assert!(text.contains('*'));
+        assert!(text.contains('o'));
+    }
+
+    #[test]
+    fn plot_axis_labels_show_ranges() {
+        let text = fig().render_ascii_plot(40, 12);
+        assert!(text.contains("1.000"), "y max");
+        assert!(text.contains("0.000"), "y/x min");
+    }
+
+    #[test]
+    fn empty_figure_reports_no_data() {
+        let f = Figure::new("Empty", "x", "y", vec![Series::new("nothing")]);
+        let text = f.render_ascii_plot(40, 12);
+        assert!(text.contains("no data"));
+    }
+
+    #[test]
+    fn degenerate_single_point_plots() {
+        let mut s = Series::new("dot");
+        s.push(2.0, 3.0);
+        let f = Figure::new("Dot", "x", "y", vec![s]);
+        let text = f.render_ascii_plot(20, 10);
+        assert!(text.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "canvas too small")]
+    fn tiny_canvas_panics() {
+        let _ = fig().render_ascii_plot(4, 4);
+    }
+}

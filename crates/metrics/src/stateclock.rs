@@ -1,0 +1,252 @@
+//! Time-weighted state accounting.
+//!
+//! The radio energy model of the paper charges a node `P_TX`, `P_I` or
+//! `P_S` watts depending on which state its radio is in (transmit,
+//! receive/idle, sleep — Table 1). [`StateClock`] tracks how long an entity
+//! spent in each of a small set of states so that total energy is simply
+//! `Σ state_duration × state_power`.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates the total time spent in each of `N` states.
+///
+/// The clock starts in state `0` at time `0.0`. Transitions are reported
+/// with [`StateClock::transition`]; time must be non-decreasing. Call
+/// [`StateClock::finish`] (or [`StateClock::durations_at`]) to account for
+/// the trailing interval.
+///
+/// # Examples
+///
+/// ```
+/// use pbbf_metrics::StateClock;
+///
+/// // Two states: 0 = awake, 1 = asleep.
+/// let mut clock = StateClock::<2>::new();
+/// clock.transition(1.0, 1); // awake during [0, 1), then sleeps
+/// clock.transition(4.0, 0); // asleep during [1, 4), then wakes
+/// let d = clock.durations_at(5.0);
+/// assert_eq!(d, [2.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateClock<const N: usize> {
+    #[serde(with = "serde_arrays")]
+    durations: [f64; N],
+    state: usize,
+    since: f64,
+}
+
+// serde does not implement Serialize/Deserialize for [f64; N] with const
+// generics on all versions; provide a tiny shim over Vec.
+mod serde_arrays {
+    use serde::de::Error;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer, const N: usize>(
+        value: &[f64; N],
+        ser: S,
+    ) -> Result<S::Ok, S::Error> {
+        value.as_slice().serialize(ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>, const N: usize>(
+        de: D,
+    ) -> Result<[f64; N], D::Error> {
+        let v = Vec::<f64>::deserialize(de)?;
+        v.try_into()
+            .map_err(|v: Vec<f64>| D::Error::custom(format!("expected {N} states, got {}", v.len())))
+    }
+}
+
+impl<const N: usize> StateClock<N> {
+    /// Creates a clock in state `0` at time `0.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `N == 0`.
+    #[must_use]
+    pub fn new() -> Self {
+        assert!(N > 0, "StateClock needs at least one state");
+        Self {
+            durations: [0.0; N],
+            state: 0,
+            since: 0.0,
+        }
+    }
+
+    /// Creates a clock starting in `state` at time `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state >= N`.
+    #[must_use]
+    pub fn starting_in(state: usize, start: f64) -> Self {
+        assert!(state < N, "state {state} out of range (N = {N})");
+        Self {
+            durations: [0.0; N],
+            state,
+            since: start,
+        }
+    }
+
+    /// Current state index.
+    #[must_use]
+    pub fn state(&self) -> usize {
+        self.state
+    }
+
+    /// Records that the entity switched to `next` at time `now`.
+    ///
+    /// Transitions to the current state are permitted and simply extend it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `next >= N` or if `now` precedes the previous transition.
+    pub fn transition(&mut self, now: f64, next: usize) {
+        assert!(next < N, "state {next} out of range (N = {N})");
+        assert!(
+            now >= self.since,
+            "time went backwards: {now} < {}",
+            self.since
+        );
+        self.durations[self.state] += now - self.since;
+        self.state = next;
+        self.since = now;
+    }
+
+    /// Closes the books at time `now` and returns per-state durations.
+    ///
+    /// The clock remains usable; the trailing interval is accounted and the
+    /// "since" marker moves to `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous transition.
+    pub fn finish(&mut self, now: f64) -> [f64; N] {
+        let state = self.state;
+        self.transition(now, state);
+        self.durations
+    }
+
+    /// Returns per-state durations as of `now` without mutating the clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous transition.
+    #[must_use]
+    pub fn durations_at(&self, now: f64) -> [f64; N] {
+        assert!(
+            now >= self.since,
+            "time went backwards: {now} < {}",
+            self.since
+        );
+        let mut d = self.durations;
+        d[self.state] += now - self.since;
+        d
+    }
+
+    /// Total energy in joules as of `now`, given per-state power in watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous transition.
+    #[must_use]
+    pub fn energy_at(&self, now: f64, power_watts: [f64; N]) -> f64 {
+        self.durations_at(now)
+            .iter()
+            .zip(power_watts.iter())
+            .map(|(d, p)| d * p)
+            .sum()
+    }
+}
+
+impl<const N: usize> Default for StateClock<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_durations() {
+        let mut c = StateClock::<3>::new();
+        c.transition(2.0, 1);
+        c.transition(5.0, 2);
+        c.transition(6.0, 0);
+        let d = c.durations_at(10.0);
+        assert_eq!(d, [2.0 + 4.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn durations_sum_to_elapsed_time() {
+        let mut c = StateClock::<2>::new();
+        c.transition(1.5, 1);
+        c.transition(7.25, 0);
+        let d = c.durations_at(9.0);
+        assert!((d.iter().sum::<f64>() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_transition_extends_state() {
+        let mut c = StateClock::<2>::new();
+        c.transition(3.0, 0);
+        c.transition(5.0, 1);
+        let d = c.durations_at(5.0);
+        assert_eq!(d, [5.0, 0.0]);
+    }
+
+    #[test]
+    fn starting_in_offsets_origin() {
+        let mut c = StateClock::<2>::starting_in(1, 10.0);
+        c.transition(12.0, 0);
+        let d = c.durations_at(15.0);
+        assert_eq!(d, [3.0, 2.0]);
+    }
+
+    #[test]
+    fn energy_weighted_by_power() {
+        // Mica2-like: idle 30 mW, sleep 3 uW.
+        let mut c = StateClock::<2>::new();
+        c.transition(1.0, 1); // 1 s idle
+        let e = c.energy_at(10.0, [0.030, 0.000_003]); // then 9 s sleep
+        let expected = 1.0 * 0.030 + 9.0 * 0.000_003;
+        assert!((e - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finish_then_continue() {
+        let mut c = StateClock::<2>::new();
+        c.transition(4.0, 1);
+        let d = c.finish(6.0);
+        assert_eq!(d, [4.0, 2.0]);
+        // Clock continues in state 1 from t=6.
+        let d2 = c.durations_at(8.0);
+        assert_eq!(d2, [4.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn backwards_time_panics() {
+        let mut c = StateClock::<2>::new();
+        c.transition(5.0, 1);
+        c.transition(4.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_state_panics() {
+        let mut c = StateClock::<2>::new();
+        c.transition(1.0, 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut c = StateClock::<3>::new();
+        c.transition(1.0, 2);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: StateClock<3> = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,177 @@
+//! Aligned plain-text tables for paper-style parameter listings.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+///
+/// Used to print Table 1 and Table 2 of the paper, and the
+/// paper-vs-measured comparisons in `EXPERIMENTS.md`.
+///
+/// # Examples
+///
+/// ```
+/// use pbbf_metrics::Table;
+///
+/// let mut t = Table::new(["Parameter", "Value"]);
+/// t.row(["N", "5625 (75 x 75)"]);
+/// t.row(["P_TX", "81 mW"]);
+/// let text = t.render();
+/// assert!(text.contains("P_TX"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The cell at `(row, col)`, if present.
+    #[must_use]
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows.get(row)?.get(col).map(String::as_str)
+    }
+
+    /// Renders the table with a header underline and aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        for (h, w) in self.header.iter().zip(&widths) {
+            let _ = write!(out, "{h:<w$}  ", w = *w);
+        }
+        out.push('\n');
+        for w in &widths {
+            let _ = write!(out, "{}  ", "-".repeat(*w));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            for (c, w) in row.iter().zip(&widths) {
+                let _ = write!(out, "{c:<w$}  ", w = *w);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(["A", "LongHeader"]);
+        t.row(["wide-cell-here", "x"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Underline matches header row length.
+        assert_eq!(lines[0].len(), lines[1].len());
+        assert!(lines[2].starts_with("wide-cell-here"));
+    }
+
+    #[test]
+    fn cell_access() {
+        let mut t = Table::new(["k", "v"]);
+        t.row(["a", "1"]);
+        t.row(["b", "2"]);
+        assert_eq!(t.cell(1, 1), Some("2"));
+        assert_eq!(t.cell(2, 0), None);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Table::new(["Parameter", "Value"]);
+        t.row(["lambda", "0.01 packets/s"]);
+        t.row(["odd,cell", "q\"uote"]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "Parameter,Value");
+        assert_eq!(lines[1], "lambda,0.01 packets/s");
+        assert_eq!(lines[2], "\"odd,cell\",\"q\"\"uote\"");
+    }
+}

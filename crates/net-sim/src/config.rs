@@ -1,0 +1,138 @@
+//! Configuration of the realistic simulator (Table 2).
+
+use pbbf_core::adaptive::AdaptiveConfig;
+use pbbf_core::{PbbfParams, PowerProfile};
+use pbbf_radio::Phy;
+use serde::{Deserialize, Serialize};
+
+/// Which protocol the network runs (mirrors the idealized simulator's
+/// mode, but for the full stack).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NetMode {
+    /// Radios always on, no beacon structure, pure CSMA flooding: the
+    /// paper's `NO PSM` baseline.
+    AlwaysOn,
+    /// IEEE 802.11 PSM with PBBF parameters (PSM itself is
+    /// `PbbfParams::PSM`).
+    SleepScheduled(PbbfParams),
+    /// PSM with per-node *adaptive* PBBF — the Section-6 future-work
+    /// heuristics: each node tunes its own `p` from overheard activity
+    /// and its own `q` from detected sequence holes, once per beacon
+    /// interval.
+    Adaptive(AdaptiveConfig),
+}
+
+impl NetMode {
+    /// The paper's legend label (`NO PSM`, `PSM`, `PBBF-<p>`,
+    /// `PBBF-ADAPT`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            NetMode::AlwaysOn => "NO PSM".to_string(),
+            NetMode::SleepScheduled(p) if *p == PbbfParams::PSM => "PSM".to_string(),
+            NetMode::SleepScheduled(p) => format!("PBBF-{}", p.p()),
+            NetMode::Adaptive(_) => "PBBF-ADAPT".to_string(),
+        }
+    }
+}
+
+/// Scenario parameters for one realistic-simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Number of nodes (Table 2: 50).
+    pub nodes: usize,
+    /// Target node density Δ = πR²N/A (Table 2 default: 10).
+    pub delta: f64,
+    /// Radio range in meters (sets the deployment area via Δ).
+    pub range_m: f64,
+    /// Source update rate λ (Table 1: 0.01 updates/s, deterministic).
+    pub lambda: f64,
+    /// Updates carried per data packet (Table 2: k = 1).
+    pub k: usize,
+    /// Beacon interval (s) — `T_frame` of Table 1.
+    pub beacon_interval_secs: f64,
+    /// ATIM window (s) — `T_active` of Table 1.
+    pub atim_window_secs: f64,
+    /// Simulated duration (Section 5.1: 500 s).
+    pub duration_secs: f64,
+    /// Physical layer (bit rate and frame sizes).
+    pub phy: Phy,
+    /// Radio power draw.
+    pub power: PowerProfile,
+    /// Attempts to draw a connected deployment before giving up.
+    pub max_deploy_attempts: u32,
+}
+
+impl NetConfig {
+    /// The Table-2 scenario: 50 nodes, Δ = 10, 64-byte packets at
+    /// 19.2 kbps, 500 s runs, Table-1 timing and power.
+    #[must_use]
+    pub fn table2() -> Self {
+        Self {
+            nodes: 50,
+            delta: 10.0,
+            range_m: 30.0,
+            lambda: 0.01,
+            k: 1,
+            beacon_interval_secs: 10.0,
+            atim_window_secs: 1.0,
+            duration_secs: 500.0,
+            phy: Phy::mica2(),
+            power: PowerProfile::MICA2,
+            max_deploy_attempts: 1000,
+        }
+    }
+
+    /// Expected number of updates generated in `duration_secs` (the first
+    /// arrives mid-window of the first beacon interval, then every `1/λ`).
+    #[must_use]
+    pub fn expected_updates(&self) -> u32 {
+        let first = 0.5 * self.atim_window_secs;
+        if self.duration_secs <= first {
+            return 0;
+        }
+        1 + ((self.duration_secs - first) * self.lambda).floor() as u32
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self::table2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_defaults() {
+        let c = NetConfig::table2();
+        assert_eq!(c.nodes, 50);
+        assert_eq!(c.delta, 10.0);
+        assert_eq!(c.k, 1);
+        assert_eq!(c.phy.data_bytes, 64);
+        assert_eq!(c.expected_updates(), 5);
+    }
+
+    #[test]
+    fn expected_updates_scales_with_duration() {
+        let mut c = NetConfig::table2();
+        c.duration_secs = 1000.0;
+        assert_eq!(c.expected_updates(), 10);
+        c.duration_secs = 0.1;
+        assert_eq!(c.expected_updates(), 0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(NetMode::AlwaysOn.label(), "NO PSM");
+        assert_eq!(NetMode::SleepScheduled(PbbfParams::PSM).label(), "PSM");
+        assert_eq!(
+            NetMode::SleepScheduled(PbbfParams::new(0.1, 0.0).unwrap()).label(),
+            "PBBF-0.1"
+        );
+        let adapt = NetMode::Adaptive(AdaptiveConfig::default_for(PbbfParams::PSM));
+        assert_eq!(adapt.label(), "PBBF-ADAPT");
+    }
+}

@@ -1,0 +1,646 @@
+//! The discrete-event loop composing app, PBBF, PSM, CSMA, radio, channel.
+
+use pbbf_core::adaptive::AdaptiveController;
+use pbbf_core::ForwardDecision;
+use pbbf_des::{EventQueue, SimDuration, SimRng, SimTime};
+use pbbf_mac::{BackoffPolicy, DataIntent, MacState, PsmTiming};
+use pbbf_radio::{Channel, EnergyMeter, Frame, FrameKind, RadioState};
+use pbbf_topology::{NodeId, RandomDeployment};
+
+use crate::{NetConfig, NetMode, NetRunStats};
+
+/// The realistic simulator: construct once, [`NetSim::run`] per seed.
+///
+/// Every run draws a fresh connected random deployment, a fresh random
+/// source node, and fresh protocol randomness — all deterministically from
+/// the seed, matching the paper's "each data point is averaged over ten
+/// runs" methodology (each run is a new scenario).
+#[derive(Debug, Clone)]
+pub struct NetSim {
+    config: NetConfig,
+    mode: NetMode,
+}
+
+impl NetSim {
+    /// Creates a simulator for the given scenario and protocol mode.
+    #[must_use]
+    pub fn new(config: NetConfig, mode: NetMode) -> Self {
+        Self { config, mode }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &NetConfig {
+        &self.config
+    }
+
+    /// The protocol mode.
+    #[must_use]
+    pub fn mode(&self) -> NetMode {
+        self.mode
+    }
+
+    /// Executes one fully deterministic run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no connected deployment can be drawn within
+    /// `config.max_deploy_attempts` (raise Δ or the attempt budget).
+    #[must_use]
+    pub fn run(&self, seed: u64) -> NetRunStats {
+        let root = SimRng::new(seed);
+        let mut deploy_rng = root.substream(0);
+        let deployment = RandomDeployment::connected_with_density(
+            self.config.nodes,
+            self.config.range_m,
+            self.config.delta,
+            self.config.max_deploy_attempts,
+            &mut deploy_rng,
+        )
+        .expect("no connected deployment found; raise delta or attempts");
+        let mut source_rng = root.substream(1);
+        let source = NodeId(source_rng.below(self.config.nodes as u64) as u32);
+
+        let mut runner = Runner::new(&self.config, self.mode, deployment, source, &root);
+        runner.prime();
+        runner.drain();
+        runner.into_stats()
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    FrameStart,
+    WindowEnd,
+    GenUpdate,
+    AtimAttempt(u32),
+    DataAttempt(u32, DataIntent),
+    TxEnd(u32),
+}
+
+#[derive(Debug)]
+struct NodeRt {
+    mac: MacState,
+    meter: EnergyMeter,
+    awake: bool,
+    awake_since: SimTime,
+    rng: SimRng,
+    atim_scheduled: bool,
+    normal_scheduled: bool,
+    immediate_scheduled: bool,
+    /// Present only in [`NetMode::Adaptive`]: the Section-6 controller
+    /// plus last-window snapshots of its loss-signal inputs.
+    adapt: Option<AdaptiveController>,
+    holes_snapshot: u64,
+    known_snapshot: u64,
+}
+
+struct Runner {
+    psm: bool,
+    adaptive: bool,
+    k: usize,
+    timing: PsmTiming,
+    backoff: BackoffPolicy,
+    data_air: SimDuration,
+    atim_air: SimDuration,
+    update_period: SimDuration,
+    duration: SimTime,
+    channel: Channel,
+    nodes: Vec<NodeRt>,
+    queue: EventQueue<Ev>,
+    source: NodeId,
+    gen_times: Vec<SimTime>,
+    receptions: Vec<Vec<Option<SimTime>>>,
+    data_tx: u64,
+    atim_tx: u64,
+    immediate_tx: u64,
+    collisions: u64,
+    /// Mean `(p, q)` across nodes at each beacon interval (adaptive mode).
+    adaptive_trace: Vec<(f64, f64)>,
+}
+
+impl Runner {
+    fn new(
+        cfg: &NetConfig,
+        mode: NetMode,
+        deployment: RandomDeployment,
+        source: NodeId,
+        root: &SimRng,
+    ) -> Self {
+        let params = match mode {
+            NetMode::AlwaysOn => pbbf_core::PbbfParams::ALWAYS_ON,
+            NetMode::SleepScheduled(p) => p,
+            NetMode::Adaptive(a) => a.initial,
+        };
+        let nodes = (0..cfg.nodes)
+            .map(|i| NodeRt {
+                mac: MacState::new(params, root.substream(1000 + i as u64)),
+                meter: EnergyMeter::new(cfg.power),
+                awake: true,
+                awake_since: SimTime::ZERO,
+                rng: root.substream(2000 + i as u64),
+                atim_scheduled: false,
+                normal_scheduled: false,
+                immediate_scheduled: false,
+                adapt: match mode {
+                    NetMode::Adaptive(a) => Some(AdaptiveController::new(a)),
+                    _ => None,
+                },
+                holes_snapshot: 0,
+                known_snapshot: 0,
+            })
+            .collect();
+        let phy = cfg.phy;
+        Self {
+            psm: !matches!(mode, NetMode::AlwaysOn),
+            adaptive: matches!(mode, NetMode::Adaptive(_)),
+            k: cfg.k,
+            timing: PsmTiming::new(
+                SimDuration::from_secs(cfg.beacon_interval_secs),
+                SimDuration::from_secs(cfg.atim_window_secs),
+            ),
+            backoff: BackoffPolicy::mica2(),
+            data_air: phy.airtime(phy.data_bytes),
+            atim_air: phy.airtime(phy.atim_bytes),
+            update_period: SimDuration::from_secs(1.0 / cfg.lambda),
+            duration: SimTime::from_secs(cfg.duration_secs),
+            channel: Channel::new(deployment.into_topology()),
+            nodes,
+            queue: EventQueue::new(),
+            source,
+            gen_times: Vec::new(),
+            receptions: Vec::new(),
+            data_tx: 0,
+            atim_tx: 0,
+            immediate_tx: 0,
+            collisions: 0,
+            adaptive_trace: Vec::new(),
+        }
+    }
+
+    fn prime(&mut self) {
+        if self.psm {
+            self.queue.schedule(SimTime::ZERO, Ev::FrameStart);
+        }
+        let first_update = SimTime::ZERO + self.timing.atim_window() / 2;
+        if first_update <= self.duration {
+            self.queue.schedule(first_update, Ev::GenUpdate);
+        }
+    }
+
+    fn drain(&mut self) {
+        while let Some((now, ev)) = self.queue.pop() {
+            if now > self.duration {
+                break;
+            }
+            match ev {
+                Ev::FrameStart => self.on_frame_start(now),
+                Ev::WindowEnd => self.on_window_end(now),
+                Ev::GenUpdate => self.on_gen_update(now),
+                Ev::AtimAttempt(i) => self.on_atim_attempt(now, i as usize),
+                Ev::DataAttempt(i, intent) => self.on_data_attempt(now, i as usize, intent),
+                Ev::TxEnd(i) => self.on_tx_end(now, i as usize),
+            }
+        }
+    }
+
+    fn on_frame_start(&mut self, now: SimTime) {
+        let mut p_sum = 0.0;
+        let mut q_sum = 0.0;
+        for i in 0..self.nodes.len() {
+            let node = &mut self.nodes[i];
+            if !node.awake {
+                node.meter.set_state(now, RadioState::Idle);
+                node.awake = true;
+                node.awake_since = now;
+            }
+            // Adaptive PBBF: close the observation window at each beacon.
+            if let Some(ctl) = &mut node.adapt {
+                let holes = node.mac.sequence_holes();
+                let known = node.mac.known_updates().len() as u64;
+                let missed = holes.saturating_sub(node.holes_snapshot);
+                let received = known.saturating_sub(node.known_snapshot);
+                node.holes_snapshot = holes;
+                node.known_snapshot = known;
+                ctl.observe_updates(received, missed);
+                let params = ctl.end_window();
+                node.mac.set_params(params);
+                p_sum += params.p();
+                q_sum += params.q();
+            }
+            if node.mac.begin_frame() && !node.atim_scheduled {
+                node.atim_scheduled = true;
+                let at = self.backoff.next_atim_attempt(now, &mut node.rng);
+                self.queue.schedule(at, Ev::AtimAttempt(i as u32));
+            }
+        }
+        if self.adaptive {
+            let n = self.nodes.len() as f64;
+            self.adaptive_trace.push((p_sum / n, q_sum / n));
+        }
+        self.queue
+            .schedule(now + self.timing.atim_window(), Ev::WindowEnd);
+        let next = now + self.timing.beacon_interval();
+        if next <= self.duration {
+            self.queue.schedule(next, Ev::FrameStart);
+        }
+    }
+
+    fn on_window_end(&mut self, now: SimTime) {
+        for i in 0..self.nodes.len() {
+            let stay = self.nodes[i].mac.sleep_decision();
+            let transmitting = self.channel.is_transmitting(NodeId(i as u32));
+            let node = &mut self.nodes[i];
+            if !stay && !transmitting && node.awake {
+                node.meter.set_state(now, RadioState::Sleep);
+                node.awake = false;
+            }
+            if node.mac.has_pending_normal() && !node.normal_scheduled {
+                node.normal_scheduled = true;
+                let at = self.backoff.next_data_attempt(now, &mut node.rng);
+                self.queue
+                    .schedule(at, Ev::DataAttempt(i as u32, DataIntent::Normal));
+            }
+            if node.mac.has_pending_immediate() && !node.immediate_scheduled {
+                node.immediate_scheduled = true;
+                let at = self.backoff.next_data_attempt(now, &mut node.rng);
+                self.queue
+                    .schedule(at, Ev::DataAttempt(i as u32, DataIntent::Immediate));
+            }
+        }
+    }
+
+    fn on_gen_update(&mut self, now: SimTime) {
+        let id = self.gen_times.len() as u64;
+        self.gen_times.push(now);
+        let mut row = vec![None; self.nodes.len()];
+        row[self.source.index()] = Some(now);
+        self.receptions.push(row);
+
+        let i = self.source.index();
+        let decision = self.nodes[i].mac.source_update(id);
+        if self.psm {
+            match decision {
+                ForwardDecision::EnqueueForNextActiveWindow => {
+                    // The paper's source announces in the window the update
+                    // arrives in.
+                    if self.timing.in_atim_window(now) {
+                        self.nodes[i].mac.announce_now();
+                        if !self.nodes[i].atim_scheduled {
+                            self.nodes[i].atim_scheduled = true;
+                            let at = self.backoff.next_atim_attempt(now, &mut self.nodes[i].rng);
+                            self.queue.schedule(at, Ev::AtimAttempt(i as u32));
+                        }
+                    }
+                }
+                ForwardDecision::SendImmediately => {
+                    self.schedule_immediate_attempt(now, i);
+                }
+            }
+        } else {
+            self.schedule_immediate_attempt(now, i);
+        }
+
+        let next = now + self.update_period;
+        if next <= self.duration {
+            self.queue.schedule(next, Ev::GenUpdate);
+        }
+    }
+
+    /// Schedules an immediate-data attempt respecting the no-data-in-window
+    /// rule.
+    fn schedule_immediate_attempt(&mut self, now: SimTime, i: usize) {
+        if self.nodes[i].immediate_scheduled || !self.nodes[i].mac.has_pending_immediate() {
+            return;
+        }
+        self.nodes[i].immediate_scheduled = true;
+        let from = if self.psm {
+            self.timing.earliest_data_time(now)
+        } else {
+            now
+        };
+        let at = self.backoff.next_data_attempt(from, &mut self.nodes[i].rng);
+        self.queue
+            .schedule(at, Ev::DataAttempt(i as u32, DataIntent::Immediate));
+    }
+
+    fn on_atim_attempt(&mut self, now: SimTime, i: usize) {
+        let id = NodeId(i as u32);
+        if !self.nodes[i].mac.has_pending_normal() {
+            self.nodes[i].atim_scheduled = false;
+            return;
+        }
+        let window_end = self.timing.window_end(now);
+        if !self.timing.in_atim_window(now) || now + self.atim_air > window_end {
+            // Too late to announce this window; the data still goes out in
+            // the data phase (unannounced), and `begin_frame` re-announces
+            // next interval if it remains unsent.
+            self.nodes[i].atim_scheduled = false;
+            return;
+        }
+        if self.channel.is_transmitting(id) || self.channel.carrier_busy(id) {
+            let at = self.backoff.next_atim_attempt(now, &mut self.nodes[i].rng);
+            if at + self.atim_air <= window_end {
+                self.queue.schedule(at, Ev::AtimAttempt(i as u32));
+            } else {
+                self.nodes[i].atim_scheduled = false;
+            }
+            return;
+        }
+        self.nodes[i].atim_scheduled = false;
+        let contents = self.nodes[i].mac.packet_contents(self.k);
+        let end = self
+            .channel
+            .begin_tx(now, Frame::atim(id, contents), self.atim_air);
+        self.nodes[i].meter.set_state(now, RadioState::Transmit);
+        self.queue.schedule(end, Ev::TxEnd(i as u32));
+    }
+
+    fn on_data_attempt(&mut self, now: SimTime, i: usize, intent: DataIntent) {
+        let id = NodeId(i as u32);
+        let pending = match intent {
+            DataIntent::Normal => self.nodes[i].mac.has_pending_normal(),
+            DataIntent::Immediate => self.nodes[i].mac.has_pending_immediate(),
+        };
+        if !pending {
+            self.clear_guard(i, intent);
+            return;
+        }
+        debug_assert!(self.nodes[i].awake, "pending data must keep {id} awake");
+
+        // Data may not be sent during an ATIM window, and a frame may not
+        // straddle the next beacon boundary.
+        if self.psm {
+            let blocked_by_window = self.timing.in_atim_window(now);
+            let overruns = now + self.data_air > self.timing.next_frame_start(now);
+            if blocked_by_window || overruns {
+                let from = if blocked_by_window {
+                    self.timing.earliest_data_time(now)
+                } else {
+                    self.timing.earliest_data_time(self.timing.next_frame_start(now))
+                };
+                let at = self.backoff.next_data_attempt(from, &mut self.nodes[i].rng);
+                self.queue.schedule(at, Ev::DataAttempt(i as u32, intent));
+                return;
+            }
+        }
+        if self.channel.is_transmitting(id) || self.channel.carrier_busy(id) {
+            let at = self.backoff.next_data_attempt(now, &mut self.nodes[i].rng);
+            self.queue.schedule(at, Ev::DataAttempt(i as u32, intent));
+            return;
+        }
+        self.clear_guard(i, intent);
+        let contents = self.nodes[i].mac.packet_contents(self.k);
+        let frame = Frame::data(id, contents, intent == DataIntent::Immediate);
+        let end = self.channel.begin_tx(now, frame, self.data_air);
+        self.nodes[i].meter.set_state(now, RadioState::Transmit);
+        self.queue.schedule(end, Ev::TxEnd(i as u32));
+    }
+
+    fn clear_guard(&mut self, i: usize, intent: DataIntent) {
+        match intent {
+            DataIntent::Normal => self.nodes[i].normal_scheduled = false,
+            DataIntent::Immediate => self.nodes[i].immediate_scheduled = false,
+        }
+    }
+
+    fn on_tx_end(&mut self, now: SimTime, i: usize) {
+        let (frame, deliveries) = self.channel.end_tx(now, NodeId(i as u32));
+        self.nodes[i].meter.set_state(now, RadioState::Idle);
+        match frame.kind {
+            FrameKind::Beacon => {}
+            FrameKind::Atim { .. } => {
+                self.atim_tx += 1;
+                for d in deliveries {
+                    let r = d.receiver.index();
+                    if !self.nodes[r].awake || self.nodes[r].awake_since > d.started {
+                        continue;
+                    }
+                    if !d.clean {
+                        self.collisions += 1;
+                        continue;
+                    }
+                    self.nodes[r].mac.receive_atim();
+                }
+            }
+            FrameKind::Data { updates, immediate } => {
+                self.data_tx += 1;
+                if immediate {
+                    self.immediate_tx += 1;
+                    self.nodes[i].mac.mark_immediate_sent();
+                } else {
+                    self.nodes[i].mac.mark_normal_sent();
+                }
+                for d in deliveries {
+                    let r = d.receiver.index();
+                    if !self.nodes[r].awake || self.nodes[r].awake_since > d.started {
+                        continue;
+                    }
+                    // Adaptive PBBF: any audible data frame (even a
+                    // collision or a duplicate) counts as overheard
+                    // activity — the Section-6 p signal.
+                    if let Some(ctl) = &mut self.nodes[r].adapt {
+                        ctl.observe_transmission();
+                    }
+                    if !d.clean {
+                        self.collisions += 1;
+                        continue;
+                    }
+                    let fresh = self.nodes[r].mac.receive_data(&updates);
+                    for id in fresh {
+                        let row = &mut self.receptions[id as usize];
+                        if row[r].is_none() {
+                            row[r] = Some(now);
+                        }
+                    }
+                    if self.nodes[r].mac.has_pending_immediate() {
+                        self.schedule_immediate_attempt(now, r);
+                    }
+                    // A queued normal forward waits for the next ATIM
+                    // window; `begin_frame`/`on_window_end` pick it up.
+                }
+            }
+        }
+    }
+
+    fn into_stats(self) -> NetRunStats {
+        let topo = self.channel.topology();
+        let hop_distance = topo.hop_distances(self.source);
+        let energy_joules = self
+            .nodes
+            .iter()
+            .map(|n| n.meter.joules_at(self.duration))
+            .collect();
+        NetRunStats {
+            source: self.source,
+            hop_distance,
+            gen_times: self.gen_times,
+            receptions: self.receptions,
+            energy_joules,
+            data_tx: self.data_tx,
+            atim_tx: self.atim_tx,
+            immediate_tx: self.immediate_tx,
+            collisions: self.collisions,
+            mean_degree: topo.mean_degree(),
+            adaptive_trace: self.adaptive_trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbbf_core::PbbfParams;
+
+    fn cfg(duration: f64) -> NetConfig {
+        let mut c = NetConfig::table2();
+        c.duration_secs = duration;
+        c
+    }
+
+    fn pbbf(p: f64, q: f64) -> NetMode {
+        NetMode::SleepScheduled(PbbfParams::new(p, q).unwrap())
+    }
+
+    #[test]
+    fn psm_delivers_reliably() {
+        let sim = NetSim::new(cfg(300.0), NetMode::SleepScheduled(PbbfParams::PSM));
+        let s = sim.run(1);
+        assert_eq!(s.updates_generated(), 3);
+        assert!(s.mean_delivery_ratio() > 0.9, "ratio {}", s.mean_delivery_ratio());
+        assert_eq!(s.immediate_tx, 0, "PSM never sends immediately");
+        assert!(s.atim_tx > 0, "PSM announces every broadcast");
+    }
+
+    #[test]
+    fn always_on_is_fast_and_reliable() {
+        let sim = NetSim::new(cfg(300.0), NetMode::AlwaysOn);
+        let s = sim.run(2);
+        assert!(s.mean_delivery_ratio() > 0.9, "ratio {}", s.mean_delivery_ratio());
+        assert_eq!(s.atim_tx, 0, "no PSM structure");
+        // Latency well under one beacon interval at every hop count.
+        let l2 = s.mean_latency_at_hops(2);
+        if let Some(l) = l2 {
+            assert!(l < 10.0, "2-hop latency {l}");
+        }
+    }
+
+    #[test]
+    fn psm_latency_about_one_beacon_interval_per_hop() {
+        let sim = NetSim::new(cfg(500.0), NetMode::SleepScheduled(PbbfParams::PSM));
+        let s = sim.run(3);
+        let l1 = s.mean_latency_at_hops(1).expect("1-hop nodes reached");
+        let l2 = s.mean_latency_at_hops(2).expect("2-hop nodes reached");
+        // First hop leaves in the generation interval (≈ AW + access);
+        // the second waits for the next interval.
+        assert!(l1 < 6.0, "1-hop {l1}");
+        assert!((6.0..20.0).contains(&l2), "2-hop {l2}");
+        assert!(l2 > l1 + 5.0, "each extra hop costs about a beacon interval");
+    }
+
+    #[test]
+    fn energy_ordering_no_psm_vs_psm_vs_pbbf() {
+        let psm = NetSim::new(cfg(300.0), NetMode::SleepScheduled(PbbfParams::PSM))
+            .run(4)
+            .energy_per_update();
+        let pbbf_mid = NetSim::new(cfg(300.0), pbbf(0.25, 0.5)).run(4).energy_per_update();
+        let no_psm = NetSim::new(cfg(300.0), NetMode::AlwaysOn).run(4).energy_per_update();
+        assert!(psm < pbbf_mid, "PSM {psm} < PBBF(q=0.5) {pbbf_mid}");
+        assert!(pbbf_mid < no_psm, "PBBF(q=0.5) {pbbf_mid} < NO PSM {no_psm}");
+        // Fig. 13 scale: PSM saves about 2+ J/update over NO PSM.
+        assert!(no_psm - psm > 1.5, "saving {}", no_psm - psm);
+    }
+
+    #[test]
+    fn energy_grows_with_q_not_p() {
+        let base = cfg(300.0);
+        let e_low = NetSim::new(base, pbbf(0.25, 0.1)).run(5).energy_per_update();
+        let e_high = NetSim::new(base, pbbf(0.25, 0.9)).run(5).energy_per_update();
+        assert!(e_high > e_low * 1.5, "q drives energy: {e_low} -> {e_high}");
+        let e_p1 = NetSim::new(base, pbbf(0.05, 0.5)).run(6).energy_per_update();
+        let e_p2 = NetSim::new(base, pbbf(0.5, 0.5)).run(6).energy_per_update();
+        let rel = (e_p1 - e_p2).abs() / e_p1;
+        assert!(rel < 0.15, "p barely affects energy: {e_p1} vs {e_p2}");
+    }
+
+    #[test]
+    fn high_p_low_q_degrades_reliability() {
+        let good = NetSim::new(cfg(300.0), pbbf(0.5, 0.9)).run(7).mean_delivery_ratio();
+        let bad = NetSim::new(cfg(300.0), pbbf(0.5, 0.05)).run(7).mean_delivery_ratio();
+        assert!(bad < good, "q rescues reliability: {bad} !< {good}");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let sim = NetSim::new(cfg(200.0), pbbf(0.5, 0.5));
+        let a = sim.run(42);
+        let b = sim.run(42);
+        assert_eq!(a.receptions, b.receptions);
+        assert_eq!(a.data_tx, b.data_tx);
+        assert_eq!(a.energy_joules, b.energy_joules);
+        let c = sim.run(43);
+        assert!(a.receptions != c.receptions || a.data_tx != c.data_tx);
+    }
+
+    #[test]
+    fn adaptive_mode_tunes_parameters_and_delivers() {
+        use pbbf_core::adaptive::AdaptiveConfig;
+        // Start from conservative parameters; the busy code-distribution
+        // channel should pull p up, and full delivery should keep q low.
+        let initial = PbbfParams::new(0.1, 0.3).unwrap();
+        let sim = NetSim::new(cfg(400.0), NetMode::Adaptive(AdaptiveConfig::default_for(initial)));
+        let s = sim.run(11);
+        assert!(!s.adaptive_trace.is_empty(), "trace recorded every beacon");
+        // Parameters moved away from the initial point.
+        let (p_last, q_last) = *s.adaptive_trace.last().unwrap();
+        assert!(
+            (p_last - 0.1).abs() > 0.05 || (q_last - 0.3).abs() > 0.05,
+            "controller must react: trace ends at ({p_last}, {q_last})"
+        );
+        // Adaptation must not wreck delivery.
+        assert!(s.mean_delivery_ratio() > 0.6, "ratio {}", s.mean_delivery_ratio());
+        // Static modes record no trace.
+        let st = NetSim::new(cfg(200.0), NetMode::SleepScheduled(initial)).run(11);
+        assert!(st.adaptive_trace.is_empty());
+    }
+
+    #[test]
+    fn adaptive_q_rises_under_forced_losses() {
+        use pbbf_core::adaptive::AdaptiveConfig;
+        // Force losses: start with aggressive immediate forwarding and no
+        // listeners (p = 1, q at floor) — nodes detect sequence holes and
+        // must raise q over time.
+        let mut acfg = AdaptiveConfig::default_for(PbbfParams::new(1.0, 0.05).unwrap());
+        acfg.p_step = 0.0; // isolate the q loop
+        let sim = NetSim::new(cfg(500.0), NetMode::Adaptive(acfg));
+        let s = sim.run(12);
+        let early_q = s.adaptive_trace[2].1;
+        let late_q = s.adaptive_trace.last().unwrap().1;
+        assert!(
+            late_q > early_q,
+            "detected holes must raise q: {early_q} -> {late_q}"
+        );
+    }
+
+    #[test]
+    fn collisions_happen_under_contention() {
+        // Dense network, always-on flooding: plenty of concurrent senders.
+        let mut c = cfg(300.0);
+        c.delta = 18.0;
+        let s = NetSim::new(c, NetMode::AlwaysOn).run(8);
+        assert!(s.collisions > 0, "no collisions in a dense flood?");
+    }
+
+    #[test]
+    fn stats_bookkeeping_consistent() {
+        let s = NetSim::new(cfg(300.0), pbbf(0.75, 0.75)).run(9);
+        assert!(s.immediate_tx <= s.data_tx);
+        assert_eq!(s.gen_times.len(), s.receptions.len());
+        assert_eq!(s.energy_joules.len(), 50);
+        assert!(s.mean_degree > 3.0, "Δ=10 deployment");
+        // Source "receives" its own updates at generation time.
+        for (u, row) in s.receptions.iter().enumerate() {
+            assert_eq!(row[s.source.index()], Some(s.gen_times[u]));
+        }
+    }
+}

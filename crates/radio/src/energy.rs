@@ -1,0 +1,163 @@
+//! Per-node radio energy accounting.
+
+use pbbf_core::PowerProfile;
+use pbbf_des::SimTime;
+use pbbf_metrics::StateClock;
+
+/// The power states of a sensor radio.
+///
+/// The Mica2 numbers of Table 1 charge receive and idle listening at the
+/// same 30 mW (`P_I` is "receive/idle"), so they share a state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RadioState {
+    /// Listening or receiving (`P_I`).
+    Idle,
+    /// Transmitting (`P_TX`).
+    Transmit,
+    /// Radio powered down (`P_S`).
+    Sleep,
+}
+
+impl RadioState {
+    fn index(self) -> usize {
+        match self {
+            RadioState::Idle => 0,
+            RadioState::Transmit => 1,
+            RadioState::Sleep => 2,
+        }
+    }
+}
+
+/// Tracks one node's radio state over simulation time and converts state
+/// residency into joules under a [`PowerProfile`].
+///
+/// # Examples
+///
+/// ```
+/// use pbbf_core::PowerProfile;
+/// use pbbf_des::SimTime;
+/// use pbbf_radio::{EnergyMeter, RadioState};
+///
+/// let mut m = EnergyMeter::new(PowerProfile::MICA2);
+/// m.set_state(SimTime::from_secs(1.0), RadioState::Sleep);
+/// m.set_state(SimTime::from_secs(10.0), RadioState::Idle);
+/// let j = m.joules_at(SimTime::from_secs(10.0));
+/// // 1 s idle + 9 s sleep.
+/// assert!((j - (0.030 + 9.0 * 3e-6)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnergyMeter {
+    profile: PowerProfile,
+    clock: StateClock<3>,
+    state: RadioState,
+}
+
+impl EnergyMeter {
+    /// Creates a meter starting in [`RadioState::Idle`] at time zero.
+    #[must_use]
+    pub fn new(profile: PowerProfile) -> Self {
+        Self {
+            profile,
+            clock: StateClock::new(),
+            state: RadioState::Idle,
+        }
+    }
+
+    /// The current radio state.
+    #[must_use]
+    pub fn state(&self) -> RadioState {
+        self.state
+    }
+
+    /// Whether the radio can currently receive or carrier-sense.
+    #[must_use]
+    pub fn is_awake(&self) -> bool {
+        self.state != RadioState::Sleep
+    }
+
+    /// Records a state change at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes an earlier transition.
+    pub fn set_state(&mut self, now: SimTime, state: RadioState) {
+        self.clock.transition(now.as_secs(), state.index());
+        self.state = state;
+    }
+
+    /// Seconds spent in each state as of `now` (idle, transmit, sleep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes an earlier transition.
+    #[must_use]
+    pub fn durations_at(&self, now: SimTime) -> [f64; 3] {
+        self.clock.durations_at(now.as_secs())
+    }
+
+    /// Total joules consumed as of `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes an earlier transition.
+    #[must_use]
+    pub fn joules_at(&self, now: SimTime) -> f64 {
+        self.clock.energy_at(
+            now.as_secs(),
+            [self.profile.idle, self.profile.tx, self.profile.sleep],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn starts_idle() {
+        let m = EnergyMeter::new(PowerProfile::MICA2);
+        assert_eq!(m.state(), RadioState::Idle);
+        assert!(m.is_awake());
+        let j = m.joules_at(t(10.0));
+        assert!((j - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sleep_saves_energy() {
+        let mut awake = EnergyMeter::new(PowerProfile::MICA2);
+        let mut asleep = EnergyMeter::new(PowerProfile::MICA2);
+        asleep.set_state(t(1.0), RadioState::Sleep);
+        awake.set_state(t(1.0), RadioState::Idle);
+        assert!(asleep.joules_at(t(100.0)) < awake.joules_at(t(100.0)) / 10.0);
+        assert!(!asleep.is_awake());
+    }
+
+    #[test]
+    fn transmit_costs_more_than_idle() {
+        let mut m = EnergyMeter::new(PowerProfile::MICA2);
+        m.set_state(t(0.0), RadioState::Transmit);
+        m.set_state(t(1.0), RadioState::Idle);
+        let j = m.joules_at(t(2.0));
+        assert!((j - (0.081 + 0.030)).abs() < 1e-12);
+        let d = m.durations_at(t(2.0));
+        assert_eq!(d, [1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn psm_duty_cycle_energy() {
+        // 10 frames of 1 s idle + 9 s sleep ≈ the Eq. 3 baseline.
+        let mut m = EnergyMeter::new(PowerProfile::MICA2);
+        for f in 0..10 {
+            let start = f as f64 * 10.0;
+            m.set_state(t(start), RadioState::Idle);
+            m.set_state(t(start + 1.0), RadioState::Sleep);
+        }
+        let j = m.joules_at(t(100.0));
+        let expected = 10.0 * (0.030 + 9.0 * 3e-6);
+        assert!((j - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,315 @@
+//! Stable, cancellable event queue.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::SimTime;
+
+/// Identifies a scheduled event so it can be cancelled.
+///
+/// Handles are unique for the lifetime of the queue (a `u64` sequence
+/// number); cancelling an already-fired or already-cancelled event is a
+/// harmless no-op that returns `false`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+/// Min-heap of timestamped events with stable FIFO tie-breaking.
+///
+/// Two properties matter for reproducible network simulation:
+///
+/// 1. **Stability** — events scheduled for the same instant fire in the
+///    order they were scheduled. A plain `BinaryHeap` does not guarantee
+///    this, so entries carry a monotonically increasing sequence number.
+/// 2. **Cancellation** — MAC protocols constantly set and cancel timers
+///    (backoff suspension, ATIM timeouts). Cancellation is implemented as a
+///    tombstone set consulted lazily on pop, keeping scheduling O(log n).
+///
+/// # Examples
+///
+/// ```
+/// use pbbf_des::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// let h = q.schedule(SimTime::from_secs(2.0), "timeout");
+/// q.schedule(SimTime::from_secs(1.0), "beacon");
+/// assert!(q.cancel(h));
+/// let (_, ev) = q.pop().unwrap();
+/// assert_eq!(ev, "beacon");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry_<E>>,
+    next_seq: u64,
+    /// Sequence numbers of scheduled-but-not-yet-fired-or-cancelled events.
+    /// Heap entries whose seq is absent here were cancelled and are skipped
+    /// lazily on pop/peek.
+    live: HashSet<u64>,
+    now: SimTime,
+}
+
+#[derive(Debug)]
+struct Entry_<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry_<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry_<E> {}
+
+impl<E> PartialOrd for Entry_<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry_<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need earliest-first, and
+        // among equals lowest sequence number first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            live: HashSet::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The time of the most recently popped event (the simulation clock).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of live (non-cancelled) events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no live events remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at` and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the current clock — scheduling into the past
+    /// would silently corrupt causality.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventHandle {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry_ {
+            time: at,
+            seq,
+            event,
+        });
+        self.live.insert(seq);
+        EventHandle(seq)
+    }
+
+    /// Cancels a scheduled event. Returns `true` if the event was still
+    /// pending, `false` if it had already fired or been cancelled.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        self.live.remove(&handle.0)
+    }
+
+    /// Removes and returns the earliest live event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if !self.live.remove(&entry.seq) {
+                continue; // was cancelled
+            }
+            debug_assert!(entry.time >= self.now, "heap returned past event");
+            self.now = entry.time;
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// The timestamp of the next live event without removing it.
+    #[must_use]
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Lazily purge cancelled entries from the top of the heap so the
+        // answer reflects a live event.
+        while let Some(entry) = self.heap.peek() {
+            if self.live.contains(&entry.seq) {
+                return Some(entry.time);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Drops all pending events. The clock is preserved so causality checks
+    /// still hold for subsequent scheduling.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.live.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3.0), 3);
+        q.schedule(SimTime::from_secs(1.0), 1);
+        q.schedule(SimTime::from_secs(2.0), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1.0);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5.0), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        let (t, ()) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(5.0));
+        assert_eq!(q.now(), t);
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule(SimTime::from_secs(1.0), "a");
+        q.schedule(SimTime::from_secs(2.0), "b");
+        assert!(q.cancel(h1));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_twice_is_false() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(SimTime::from_secs(1.0), ());
+        assert!(q.cancel(h));
+        assert!(!q.cancel(h));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_false() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(SimTime::from_secs(1.0), ());
+        q.pop().unwrap();
+        assert!(!q.cancel(h));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_unknown_handle_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventHandle(99)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(SimTime::from_secs(1.0), "a");
+        q.schedule(SimTime::from_secs(2.0), "b");
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2.0)));
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn schedule_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1.0), 1);
+        q.pop().unwrap();
+        // now == 1.0 s; scheduling at exactly now is legal ("immediately").
+        q.schedule(q.now(), 2);
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn schedule_in_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2.0), ());
+        q.pop().unwrap();
+        q.schedule(SimTime::from_secs(1.0), ());
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1.0), ());
+        q.schedule(SimTime::from_secs(2.0), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1.0), 1);
+        let (t, v) = q.pop().unwrap();
+        assert_eq!(v, 1);
+        q.schedule(t + SimDuration::from_secs(1.0), 2);
+        q.schedule(t + SimDuration::from_secs(0.5), 3);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule(SimTime::from_secs(1.0), ());
+        q.schedule(SimTime::from_secs(2.0), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(h1);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert_eq!(q.len(), 0);
+    }
+}

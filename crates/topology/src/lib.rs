@@ -1,0 +1,28 @@
+//! Node placement and connectivity substrate.
+//!
+//! The paper evaluates PBBF on two kinds of deployments:
+//!
+//! * **Grid lattices** (Section 4): an `n × n` square lattice where each
+//!   node is connected to its four axis neighbors and the broadcast source
+//!   sits as near to the center as possible — built by [`Grid`].
+//! * **Uniform-random deployments** (Section 5): `N` nodes placed uniformly
+//!   at random in a square region sized so that the node density
+//!   `Δ = πR²N/A` (Eq. 13) takes a requested value, with unit-disk
+//!   connectivity of range `R` — built by [`RandomDeployment`].
+//!
+//! Both produce a [`Topology`]: immutable positions plus an adjacency
+//! structure with BFS hop distances, which the simulators and the
+//! percolation analysis share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+mod grid;
+mod point;
+mod random;
+
+pub use graph::{NodeId, Topology};
+pub use grid::Grid;
+pub use point::Point2;
+pub use random::{area_for_density, density, RandomDeployment};

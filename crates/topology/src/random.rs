@@ -1,0 +1,252 @@
+//! Uniform-random deployments with unit-disk connectivity (Section 5).
+//!
+//! The paper deploys `N = 50` nodes uniformly at random in a square region
+//! whose area is chosen so that the node density `Δ = πR²N / A` (Eq. 13)
+//! equals a target value; `Δ` approximates the expected number of one-hop
+//! neighbors. Two radios are connected exactly when their distance is at
+//! most the radio range `R` (unit-disk model, matching the ns-2 two-ray
+//! ground setup at these scales).
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::{NodeId, Point2, Topology};
+
+/// Computes the node density `Δ = πR²N / A` of Eq. 13.
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive or non-finite.
+#[must_use]
+pub fn density(range: f64, nodes: usize, area: f64) -> f64 {
+    assert!(range > 0.0 && range.is_finite(), "bad range {range}");
+    assert!(nodes > 0, "no nodes");
+    assert!(area > 0.0 && area.is_finite(), "bad area {area}");
+    std::f64::consts::PI * range * range * nodes as f64 / area
+}
+
+/// Inverts Eq. 13: the deployment area that yields density `delta` for
+/// `nodes` radios of the given `range`.
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive or non-finite.
+#[must_use]
+pub fn area_for_density(range: f64, nodes: usize, delta: f64) -> f64 {
+    assert!(delta > 0.0 && delta.is_finite(), "bad density {delta}");
+    assert!(range > 0.0 && range.is_finite(), "bad range {range}");
+    assert!(nodes > 0, "no nodes");
+    std::f64::consts::PI * range * range * nodes as f64 / delta
+}
+
+/// A uniform-random deployment in a square region.
+///
+/// # Examples
+///
+/// ```
+/// use pbbf_des::SimRng;
+/// use pbbf_topology::RandomDeployment;
+///
+/// let mut rng = SimRng::new(1);
+/// let d = RandomDeployment::with_density(50, 30.0, 10.0, &mut rng);
+/// assert_eq!(d.topology().len(), 50);
+/// // Mean degree approximates Δ = 10 (up to boundary effects).
+/// assert!(d.topology().mean_degree() > 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomDeployment {
+    side: f64,
+    range: f64,
+    topology: Topology,
+}
+
+impl RandomDeployment {
+    /// Deploys `nodes` radios of the given `range` uniformly in a square
+    /// region sized for the target density `delta` (Eq. 13).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive or non-finite.
+    #[must_use]
+    pub fn with_density(nodes: usize, range: f64, delta: f64, rng: &mut impl RngCore) -> Self {
+        let area = area_for_density(range, nodes, delta);
+        Self::in_square(nodes, range, area.sqrt(), rng)
+    }
+
+    /// Deploys `nodes` radios of the given `range` uniformly in a
+    /// `side × side` square.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive or non-finite.
+    #[must_use]
+    pub fn in_square(nodes: usize, range: f64, side: f64, rng: &mut impl RngCore) -> Self {
+        assert!(nodes > 0, "no nodes");
+        assert!(range > 0.0 && range.is_finite(), "bad range {range}");
+        assert!(side > 0.0 && side.is_finite(), "bad side {side}");
+        let positions: Vec<Point2> = (0..nodes)
+            .map(|_| Point2::new(unit_f64(rng) * side, unit_f64(rng) * side))
+            .collect();
+        let range_sq = range * range;
+        let mut edges = Vec::new();
+        for i in 0..nodes {
+            for j in (i + 1)..nodes {
+                if positions[i].distance_squared(positions[j]) <= range_sq {
+                    edges.push((NodeId(i as u32), NodeId(j as u32)));
+                }
+            }
+        }
+        Self {
+            side,
+            range,
+            topology: Topology::from_edges(positions, &edges),
+        }
+    }
+
+    /// Keeps redeploying (with fresh randomness from `rng`) until the
+    /// unit-disk graph is connected, up to `max_attempts`.
+    ///
+    /// The paper's scenarios require every node to be reachable from the
+    /// source for the reliability metric to be meaningful; ns-2 scenario
+    /// generation conventionally rejects disconnected deployments.
+    ///
+    /// Returns `None` if no connected deployment was found.
+    #[must_use]
+    pub fn connected_with_density(
+        nodes: usize,
+        range: f64,
+        delta: f64,
+        max_attempts: u32,
+        rng: &mut impl RngCore,
+    ) -> Option<Self> {
+        for _ in 0..max_attempts {
+            let d = Self::with_density(nodes, range, delta, rng);
+            if d.topology.is_connected() {
+                return Some(d);
+            }
+        }
+        None
+    }
+
+    /// Side length of the deployment square (m).
+    #[must_use]
+    pub fn side(&self) -> f64 {
+        self.side
+    }
+
+    /// Radio range (m).
+    #[must_use]
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// The nominal density Δ of this deployment per Eq. 13.
+    #[must_use]
+    pub fn nominal_density(&self) -> f64 {
+        density(self.range, self.topology.len(), self.side * self.side)
+    }
+
+    /// The underlying topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Consumes the deployment, returning the topology.
+    #[must_use]
+    pub fn into_topology(self) -> Topology {
+        self.topology
+    }
+}
+
+/// Uniform `[0, 1)` from 53 random bits of any `RngCore`.
+fn unit_f64(rng: &mut impl RngCore) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbbf_des::SimRng;
+
+    #[test]
+    fn density_and_area_are_inverse() {
+        let a = area_for_density(30.0, 50, 10.0);
+        let d = density(30.0, 50, a);
+        assert!((d - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table2_scenario_area() {
+        // N = 50, Δ = 10: A = πR²·50/10 = 5πR².
+        let a = area_for_density(30.0, 50, 10.0);
+        assert!((a - 5.0 * std::f64::consts::PI * 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deployment_positions_inside_square() {
+        let mut rng = SimRng::new(2);
+        let d = RandomDeployment::in_square(100, 10.0, 50.0, &mut rng);
+        for n in d.topology().nodes() {
+            let p = d.topology().position(n);
+            assert!((0.0..50.0).contains(&p.x) && (0.0..50.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn edges_respect_range() {
+        let mut rng = SimRng::new(3);
+        let d = RandomDeployment::in_square(60, 12.0, 60.0, &mut rng);
+        let topo = d.topology();
+        for (a, b) in topo.edges() {
+            assert!(topo.position(a).distance(topo.position(b)) <= 12.0);
+        }
+        // And non-edges exceed range.
+        for a in topo.nodes() {
+            for b in topo.nodes() {
+                if a < b && !topo.are_neighbors(a, b) {
+                    assert!(topo.position(a).distance(topo.position(b)) > 12.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mean_degree_tracks_density() {
+        // Average over several seeds: boundary effects bias low, but the
+        // mean degree should be within ~35% of Δ.
+        let mut total = 0.0;
+        let runs = 20;
+        for seed in 0..runs {
+            let mut rng = SimRng::new(seed);
+            let d = RandomDeployment::with_density(200, 25.0, 12.0, &mut rng);
+            total += d.topology().mean_degree();
+        }
+        let mean = total / runs as f64;
+        assert!((mean - 12.0).abs() < 4.0, "mean degree {mean} vs Δ=12");
+    }
+
+    #[test]
+    fn connected_deployment_is_connected() {
+        let mut rng = SimRng::new(4);
+        let d = RandomDeployment::connected_with_density(50, 30.0, 10.0, 100, &mut rng)
+            .expect("Δ=10 deployments connect easily");
+        assert!(d.topology().is_connected());
+        assert!((d.nominal_density() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deployment_is_deterministic_per_seed() {
+        let d1 = RandomDeployment::with_density(50, 30.0, 10.0, &mut SimRng::new(9));
+        let d2 = RandomDeployment::with_density(50, 30.0, 10.0, &mut SimRng::new(9));
+        assert_eq!(d1, d2);
+        let d3 = RandomDeployment::with_density(50, 30.0, 10.0, &mut SimRng::new(10));
+        assert_ne!(d1, d3);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad density")]
+    fn zero_density_panics() {
+        let _ = area_for_density(30.0, 50, 0.0);
+    }
+}

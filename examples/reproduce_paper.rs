@@ -1,0 +1,52 @@
+//! Regenerates every table and figure of the paper and writes them under
+//! `results/` (text + CSV).
+//!
+//! ```sh
+//! # quick shapes (seconds):
+//! cargo run --release --example reproduce_paper
+//! # full paper-scale methodology (minutes):
+//! cargo run --release --example reproduce_paper -- --paper
+//! # one exhibit:
+//! cargo run --release --example reproduce_paper -- fig13
+//! ```
+
+use std::fs;
+use std::time::Instant;
+
+use pbbf::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper_scale = args.iter().any(|a| a == "--paper");
+    let effort = if paper_scale {
+        Effort::paper()
+    } else {
+        Effort::quick()
+    };
+    let only: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    fs::create_dir_all("results").expect("create results dir");
+    println!(
+        "Regenerating the paper's exhibits at {} effort...\n",
+        if paper_scale { "PAPER" } else { "QUICK" }
+    );
+
+    for exp in Experiment::all() {
+        if !only.is_empty() && !only.contains(&exp.id()) {
+            continue;
+        }
+        let t0 = Instant::now();
+        let out = exp.run(&effort, 2005);
+        let secs = t0.elapsed().as_secs_f64();
+        let text = out.render_text();
+        println!("{text}");
+        fs::write(format!("results/{}.txt", exp.id()), &text).expect("write text");
+        fs::write(format!("results/{}.csv", exp.id()), out.to_csv()).expect("write csv");
+        println!("[{} regenerated in {secs:.1} s -> results/{}.{{txt,csv}}]\n", exp.id(), exp.id());
+    }
+    println!("All requested exhibits written to results/.");
+}

@@ -1,0 +1,218 @@
+//! `pbbf` — command-line front end to the reproduction.
+//!
+//! ```text
+//! pbbf analyze   --p 0.5 --q 0.5            closed-form Eqs. 7-9 for one point
+//! pbbf boundary  --grid 30 --reliability 0.99   percolation threshold + q(p)
+//! pbbf ideal     --grid 25 --p 0.5 --q 0.5      run the Section-4 simulator
+//! pbbf net       --p 0.25 --q 0.25 --delta 10   run the Section-5 simulator
+//! pbbf reproduce [--paper] [fig13 ...]          regenerate paper exhibits
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free (the offline crate
+//! budget is spent on simulation, not flag handling).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use pbbf::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        print_help();
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "analyze" => cmd_analyze(rest),
+        "boundary" => cmd_boundary(rest),
+        "ideal" => cmd_ideal(rest),
+        "net" => cmd_net(rest),
+        "reproduce" => cmd_reproduce(rest),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `pbbf help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "pbbf — PBBF (ICDCS 2005) reproduction toolkit\n\n\
+         USAGE:\n  pbbf <command> [flags]\n\n\
+         COMMANDS:\n\
+         \x20 analyze    --p <f> --q <f>                      closed-form energy/latency/reliability\n\
+         \x20 boundary   --grid <n> --reliability <f> [--runs <n>] [--seed <n>]\n\
+         \x20 ideal      --grid <n> --p <f> --q <f> [--updates <n>] [--seed <n>]\n\
+         \x20 net        --p <f> --q <f> [--delta <f>] [--duration <s>] [--seed <n>]\n\
+         \x20 reproduce  [--paper] [--plot] [--seed <n>] [table1 fig04 ... fig18]\n\
+         \x20 help"
+    );
+}
+
+/// Parses `--key value` flags plus bare positionals.
+fn parse(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), String> {
+    let mut flags = HashMap::new();
+    let mut positional = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            if key == "paper" || key == "plot" {
+                flags.insert(key.to_string(), "true".to_string());
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                flags.insert(key.to_string(), value.clone());
+            }
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok((flags, positional))
+}
+
+fn get_f64(flags: &HashMap<String, String>, key: &str, default: Option<f64>) -> Result<f64, String> {
+    match flags.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("--{key}: bad number `{v}`")),
+        None => default.ok_or_else(|| format!("missing required flag --{key}")),
+    }
+}
+
+fn get_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
+    match flags.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("--{key}: bad integer `{v}`")),
+        None => Ok(default),
+    }
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse(args)?;
+    let p = get_f64(&flags, "p", None)?;
+    let q = get_f64(&flags, "q", None)?;
+    let params = PbbfParams::new(p, q).map_err(|e| e.to_string())?;
+    let a = AnalysisParams::table1();
+    let pt = analysis::analyze(&a, params);
+    let mut t = Table::new(["Quantity", "Value", "Source"]);
+    t.row(["p_edge = 1 - p(1-q)".to_string(), format!("{:.4}", pt.edge_probability), "Remark 1".to_string()]);
+    t.row(["relative energy".to_string(), format!("{:.4}", pt.relative_energy), "Eq. 7".to_string()]);
+    t.row(["energy increase over PSM".to_string(), format!("{:.3}x", pt.energy_increase), "Eq. 8".to_string()]);
+    t.row(["expected link latency".to_string(), format!("{:.3} s", pt.link_latency), "Eq. 9".to_string()]);
+    t.row(["joules per update".to_string(), format!("{:.4} J", pt.joules_per_update), "Table 1 power".to_string()]);
+    print!("{}", t.render());
+    Ok(())
+}
+
+fn cmd_boundary(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse(args)?;
+    let grid = get_u64(&flags, "grid", 30)? as u32;
+    let reliability = get_f64(&flags, "reliability", Some(0.99))?;
+    let runs = get_u64(&flags, "runs", 150)? as u32;
+    let seed = get_u64(&flags, "seed", 2005)?;
+    let g = Grid::square(grid);
+    let mut rng = SimRng::new(seed);
+    let ps: Vec<f64> = (1..=10).map(|i| f64::from(i) / 10.0).collect();
+    let (critical, boundary) =
+        pq_boundary(g.topology(), g.center(), reliability, &ps, runs, &mut rng);
+    println!(
+        "{grid}x{grid} grid, {:.0}% reliability: critical p_edge = {critical:.4}\n",
+        reliability * 100.0
+    );
+    let mut t = Table::new(["p", "q_min"]);
+    for (p, q) in boundary {
+        t.row([format!("{p:.2}"), format!("{q:.4}")]);
+    }
+    print!("{}", t.render());
+    Ok(())
+}
+
+fn cmd_ideal(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse(args)?;
+    let grid = get_u64(&flags, "grid", 25)? as u32;
+    let p = get_f64(&flags, "p", None)?;
+    let q = get_f64(&flags, "q", None)?;
+    let updates = get_u64(&flags, "updates", 5)? as u32;
+    let seed = get_u64(&flags, "seed", 2005)?;
+    let params = PbbfParams::new(p, q).map_err(|e| e.to_string())?;
+    let mut cfg = IdealConfig::table1();
+    cfg.grid_side = grid;
+    cfg.updates = updates;
+    let stats = IdealSim::new(cfg, IdealMode::SleepScheduled(params)).run(seed);
+    let mut t = Table::new(["Metric", "Value"]);
+    t.row(["delivered fraction".to_string(), format!("{:.4}", stats.mean_delivered_fraction())]);
+    t.row(["joules/update/node".to_string(), format!("{:.4}", stats.mean_energy_per_update())]);
+    t.row([
+        "per-hop latency".to_string(),
+        stats
+            .mean_per_hop_latency()
+            .map_or("n/a".to_string(), |l| format!("{l:.3} s")),
+    ]);
+    t.row(["transmissions/update".to_string(), format!("{:.1}", stats.mean_total_tx())]);
+    print!("{}", t.render());
+    Ok(())
+}
+
+fn cmd_net(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse(args)?;
+    let p = get_f64(&flags, "p", None)?;
+    let q = get_f64(&flags, "q", None)?;
+    let delta = get_f64(&flags, "delta", Some(10.0))?;
+    let duration = get_f64(&flags, "duration", Some(500.0))?;
+    let seed = get_u64(&flags, "seed", 2005)?;
+    let params = PbbfParams::new(p, q).map_err(|e| e.to_string())?;
+    let mut cfg = NetConfig::table2();
+    cfg.delta = delta;
+    cfg.duration_secs = duration;
+    let stats = NetSim::new(cfg, NetMode::SleepScheduled(params)).run(seed);
+    let mut t = Table::new(["Metric", "Value"]);
+    t.row(["updates generated".to_string(), format!("{}", stats.updates_generated())]);
+    t.row(["delivery ratio".to_string(), format!("{:.4}", stats.mean_delivery_ratio())]);
+    t.row(["joules/update/node".to_string(), format!("{:.4}", stats.energy_per_update())]);
+    for hops in [2u32, 5] {
+        t.row([
+            format!("{hops}-hop latency"),
+            stats
+                .mean_latency_at_hops(hops)
+                .map_or("n/a".to_string(), |l| format!("{l:.2} s")),
+        ]);
+    }
+    t.row(["data tx (immediate)".to_string(), format!("{} ({})", stats.data_tx, stats.immediate_tx)]);
+    t.row(["collisions".to_string(), format!("{}", stats.collisions)]);
+    print!("{}", t.render());
+    Ok(())
+}
+
+fn cmd_reproduce(args: &[String]) -> Result<(), String> {
+    let (flags, positional) = parse(args)?;
+    let effort = if flags.contains_key("paper") {
+        Effort::paper()
+    } else {
+        Effort::quick()
+    };
+    let seed = get_u64(&flags, "seed", 2005)?;
+    let plot = flags.contains_key("plot");
+    let mut any = false;
+    for exp in Experiment::all() {
+        if !positional.is_empty() && !positional.iter().any(|p| p == exp.id()) {
+            continue;
+        }
+        any = true;
+        let out = exp.run(&effort, seed);
+        match (&out, plot) {
+            (Output::Figure(f), true) => println!("{}", f.render_ascii_plot(64, 20)),
+            _ => println!("{}", out.render_text()),
+        }
+    }
+    if !any {
+        return Err(format!("no exhibit matched {positional:?}"));
+    }
+    Ok(())
+}

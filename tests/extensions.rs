@@ -1,0 +1,121 @@
+//! Integration tests for the Section-6 extensions: adaptive PBBF and the
+//! gossip (site percolation) baseline.
+
+use pbbf::core::adaptive::{AdaptiveConfig, AdaptiveController};
+use pbbf::ideal_sim::Mode;
+use pbbf::prelude::*;
+
+/// Gossip's simulated threshold sits near the site-percolation threshold
+/// of the square lattice (≈0.593), clearly above PBBF's bond threshold
+/// (≈0.5) — the quantitative core of the paper's Section-2 contrast.
+#[test]
+fn gossip_threshold_above_bond_threshold() {
+    let mut cfg = IdealConfig::table1();
+    cfg.grid_side = 25;
+    cfg.updates = 3;
+
+    let frac_at = |g: f64| {
+        let mut s = Summary::new();
+        for seed in 0..4 {
+            s.record(
+                IdealSim::new(cfg, Mode::Gossip { forward_probability: g })
+                    .run(seed)
+                    .mean_delivered_fraction(),
+            );
+        }
+        s.mean()
+    };
+    // Below the site threshold gossip dies; above it, it blankets.
+    assert!(frac_at(0.45) < 0.4, "0.45 < site threshold");
+    assert!(frac_at(0.80) > 0.85, "0.80 > site threshold");
+
+    // PBBF with the same "loss" level percolates earlier: p = 1, q = 0.55
+    // gives p_edge = 0.55 (bond), which already delivers broadly, while
+    // gossip at g = 0.55 (site) is still marginal.
+    let pbbf = PbbfParams::new(1.0, 0.55).unwrap();
+    let mut pbbf_frac = Summary::new();
+    let mut gossip_frac = Summary::new();
+    for seed in 0..4 {
+        pbbf_frac.record(
+            IdealSim::new(cfg, IdealMode::SleepScheduled(pbbf))
+                .run(seed)
+                .mean_delivered_fraction(),
+        );
+        gossip_frac.record(
+            IdealSim::new(cfg, Mode::Gossip { forward_probability: 0.55 })
+                .run(seed)
+                .mean_delivered_fraction(),
+        );
+    }
+    assert!(
+        pbbf_frac.mean() > gossip_frac.mean(),
+        "bond percolates before site: PBBF {} vs gossip {}",
+        pbbf_frac.mean(),
+        gossip_frac.mean()
+    );
+}
+
+/// The controller's unit-level rules compose into system-level behavior:
+/// a lossy network drives mean q up; a clean network drives it down to
+/// the floor.
+#[test]
+fn adaptive_q_tracks_observed_losses() {
+    let mut lossy = AdaptiveController::new(AdaptiveConfig::default_for(
+        PbbfParams::new(0.5, 0.5).unwrap(),
+    ));
+    let mut clean = lossy.clone();
+    for _ in 0..20 {
+        lossy.observe_updates(1, 1);
+        lossy.end_window();
+        clean.observe_updates(2, 0);
+        clean.end_window();
+    }
+    assert_eq!(lossy.params().q(), 1.0);
+    assert!((clean.params().q() - clean.config().q_floor).abs() < 1e-9);
+}
+
+/// End to end in the realistic simulator: adaptation beats its own static
+/// starting point on delivery when the start is unreliable.
+#[test]
+fn adaptation_recovers_from_bad_initial_point() {
+    let mut cfg = NetConfig::table2();
+    cfg.duration_secs = 500.0;
+    // A deliberately bad start: aggressive immediate forwarding, minimal
+    // listening.
+    let bad = PbbfParams::new(0.9, 0.05).unwrap();
+
+    let mut static_ratio = Summary::new();
+    let mut adaptive_ratio = Summary::new();
+    for seed in 0..4 {
+        static_ratio.record(
+            NetSim::new(cfg, NetMode::SleepScheduled(bad))
+                .run(seed)
+                .mean_delivery_ratio(),
+        );
+        adaptive_ratio.record(
+            NetSim::new(cfg, NetMode::Adaptive(AdaptiveConfig::default_for(bad)))
+                .run(seed)
+                .mean_delivery_ratio(),
+        );
+    }
+    assert!(
+        adaptive_ratio.mean() > static_ratio.mean() + 0.05,
+        "adaptation must rescue a bad start: {} vs {}",
+        adaptive_ratio.mean(),
+        static_ratio.mean()
+    );
+}
+
+/// Adaptive runs are as deterministic as static ones.
+#[test]
+fn adaptive_runs_deterministic() {
+    let mut cfg = NetConfig::table2();
+    cfg.duration_secs = 200.0;
+    let mode = NetMode::Adaptive(AdaptiveConfig::default_for(
+        PbbfParams::new(0.2, 0.2).unwrap(),
+    ));
+    let a = NetSim::new(cfg, mode).run(3);
+    let b = NetSim::new(cfg, mode).run(3);
+    assert_eq!(a.adaptive_trace, b.adaptive_trace);
+    assert_eq!(a.receptions, b.receptions);
+}

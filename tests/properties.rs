@@ -1,0 +1,220 @@
+//! Property-based tests on the workspace's core invariants.
+
+use pbbf::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// Welford summaries match naive two-pass statistics for any input.
+    #[test]
+    fn summary_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s: Summary = xs.iter().copied().collect();
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.population_variance() - var).abs() < 1e-4 * (1.0 + var));
+        prop_assert_eq!(s.count(), xs.len() as u64);
+    }
+
+    /// Merging summaries in any split equals one-shot accumulation.
+    #[test]
+    fn summary_merge_associative(
+        xs in prop::collection::vec(-1e3f64..1e3, 0..100),
+        ys in prop::collection::vec(-1e3f64..1e3, 0..100),
+    ) {
+        let mut a: Summary = xs.iter().copied().collect();
+        let b: Summary = ys.iter().copied().collect();
+        a.merge(&b);
+        let whole: Summary = xs.iter().chain(ys.iter()).copied().collect();
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9 * (1.0 + whole.mean().abs()));
+    }
+
+    /// The event queue pops in nondecreasing time order with FIFO ties,
+    /// regardless of insertion order.
+    #[test]
+    fn event_queue_ordering(times in prop::collection::vec(0u64..1_000, 1..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut last_idx_at_time: Option<usize> = None;
+        while let Some((t, idx)) = q.pop() {
+            prop_assert!(t >= last_time);
+            if t == last_time {
+                if let Some(prev) = last_idx_at_time {
+                    prop_assert!(idx > prev, "FIFO among simultaneous events");
+                }
+            } else {
+                last_time = t;
+            }
+            last_idx_at_time = Some(idx);
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    /// Cancellation removes exactly the cancelled events.
+    #[test]
+    fn event_queue_cancellation(
+        n in 1usize..100,
+        cancel_mask in prop::collection::vec(any::<bool>(), 100),
+    ) {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = (0..n)
+            .map(|i| q.schedule(SimTime::from_nanos(i as u64 % 7), i))
+            .collect();
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, h) in handles.iter().enumerate() {
+            if cancel_mask[i] {
+                prop_assert!(q.cancel(*h));
+            } else {
+                expected.push(i);
+            }
+        }
+        let mut got: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The RNG's Bernoulli edge cases are exact and substreams reproduce.
+    #[test]
+    fn rng_substreams_reproducible(seed in any::<u64>(), stream in 0u64..1000) {
+        let a = SimRng::new(seed).substream(stream);
+        let b = SimRng::new(seed).substream(stream);
+        prop_assert_eq!(a, b);
+        let mut r = SimRng::new(seed);
+        prop_assert!(!r.chance(0.0));
+        prop_assert!(r.chance(1.0));
+    }
+
+    /// Grid topologies: degree bounds, symmetry, BFS = Manhattan.
+    #[test]
+    fn grid_invariants(rows in 1u32..12, cols in 1u32..12) {
+        let g = Grid::new(rows, cols, 1.0);
+        let t = g.topology();
+        prop_assert_eq!(t.len(), (rows * cols) as usize);
+        prop_assert_eq!(t.edge_count() as u32, rows * (cols - 1) + cols * (rows - 1));
+        for a in t.nodes() {
+            prop_assert!(t.degree(a) <= 4);
+            for &b in t.neighbors(a) {
+                prop_assert!(t.are_neighbors(b, a), "symmetry");
+                prop_assert_eq!(g.manhattan(a, b), 1);
+            }
+        }
+        prop_assert!(t.is_connected());
+    }
+
+    /// Unit-disk deployments: edges exactly match the range predicate.
+    #[test]
+    fn unit_disk_edges_match_distances(seed in any::<u64>(), n in 5usize..40) {
+        let mut rng = SimRng::new(seed);
+        let d = RandomDeployment::in_square(n, 10.0, 40.0, &mut rng);
+        let t = d.topology();
+        for a in t.nodes() {
+            for b in t.nodes() {
+                if a < b {
+                    let within = t.position(a).distance(t.position(b)) <= 10.0;
+                    prop_assert_eq!(t.are_neighbors(a, b), within);
+                }
+            }
+        }
+    }
+
+    /// p_edge = 1 − p(1−q) stays in [0, 1] and is monotone in q and
+    /// antitone in p.
+    #[test]
+    fn edge_probability_monotonicity(
+        p in 0.0f64..=1.0,
+        q1 in 0.0f64..=1.0,
+        q2 in 0.0f64..=1.0,
+    ) {
+        let params1 = PbbfParams::new(p, q1).unwrap();
+        prop_assert!((0.0..=1.0).contains(&params1.edge_probability()));
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let e_lo = PbbfParams::new(p, lo).unwrap().edge_probability();
+        let e_hi = PbbfParams::new(p, hi).unwrap().edge_probability();
+        prop_assert!(e_hi >= e_lo - 1e-15);
+    }
+
+    /// Eq. 9 latency is within [L1, L1 + L2] and decreasing in q.
+    #[test]
+    fn latency_bounds_and_monotonicity(
+        p in 0.0f64..=1.0,
+        qa in 0.0f64..=1.0,
+        qb in 0.0f64..=1.0,
+        l1 in 0.1f64..5.0,
+        l2 in 0.1f64..20.0,
+    ) {
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        let lat_lo_q = analysis::expected_link_latency(p, lo, l1, l2);
+        let lat_hi_q = analysis::expected_link_latency(p, hi, l1, l2);
+        prop_assert!(lat_lo_q >= l1 - 1e-12 && lat_lo_q <= l1 + l2 + 1e-12);
+        prop_assert!(lat_hi_q <= lat_lo_q + 1e-12, "latency falls as q rises");
+    }
+
+    /// Eq. 7/8 consistency and linearity for arbitrary schedules.
+    #[test]
+    fn energy_equations_consistent(
+        t_active in 0.1f64..5.0,
+        extra in 0.1f64..50.0,
+        q in 0.0f64..=1.0,
+    ) {
+        let sched = SleepSchedule::new(t_active, t_active + extra).unwrap();
+        let e7 = analysis::relative_energy_pbbf(&sched, q);
+        let e8 = analysis::energy_increase_factor(&sched, q)
+            * analysis::relative_energy_original(&sched);
+        prop_assert!((e7 - e8).abs() < 1e-12);
+        prop_assert!(e7 <= 1.0 + 1e-12 && e7 >= sched.duty_cycle() - 1e-12);
+    }
+
+    /// min_q inverts the reliability condition wherever it is active.
+    #[test]
+    fn boundary_inversion(p in 0.01f64..=1.0, pc in 0.0f64..=1.0) {
+        let q = min_q_for_reliability(p, pc).unwrap();
+        prop_assert!((0.0..=1.0).contains(&q));
+        let pe = PbbfParams::new(p, q).unwrap().edge_probability();
+        // Either the boundary is met, or it is unreachable even at q = 1
+        // (impossible since pe(q=1) = 1 >= pc) or q = 0 oversatisfies.
+        prop_assert!(pe >= pc - 1e-9);
+    }
+
+    /// The duplicate filter never reports an id fresh twice (unbounded).
+    #[test]
+    fn duplicate_filter_no_double_fresh(ids in prop::collection::vec(0u64..50, 1..300)) {
+        let mut f = DuplicateFilter::unbounded();
+        let mut seen = std::collections::HashSet::new();
+        for id in ids {
+            prop_assert_eq!(f.first_sighting(id), seen.insert(id));
+        }
+    }
+
+    /// A full idealized dissemination never records more hops than links
+    /// and never records latency for undelivered nodes; delivered fraction
+    /// is within [1/N, 1].
+    #[test]
+    fn ideal_sim_structural_invariants(seed in any::<u64>(), p in 0.0f64..=1.0, q in 0.0f64..=1.0) {
+        let mut cfg = IdealConfig::table1();
+        cfg.grid_side = 9;
+        cfg.updates = 1;
+        let params = PbbfParams::new(p, q).unwrap();
+        let stats = IdealSim::new(cfg, IdealMode::SleepScheduled(params)).run(seed);
+        let u = &stats.updates[0];
+        let n = 81u32;
+        let mut delivered = 0u32;
+        for (i, r) in u.received.iter().enumerate() {
+            if let Some((lat, hops)) = r {
+                delivered += 1;
+                prop_assert!(*lat >= 0.0);
+                prop_assert!(*hops >= stats.shortest[i], "cannot beat shortest path");
+            }
+        }
+        prop_assert!(delivered >= 1, "source always has the update");
+        prop_assert!(delivered <= n);
+        let frac = u.delivered_fraction();
+        prop_assert!((frac - f64::from(delivered) / f64::from(n)).abs() < 1e-12);
+        // Transmissions are bounded by one per delivered node.
+        prop_assert!(u.total_tx() <= u64::from(delivered));
+    }
+}
