@@ -57,7 +57,9 @@ fn ablation_source_announce(c: &mut Criterion) {
         fig2.mean_delivered_fraction(),
         forced.mean_delivered_fraction(),
     );
-    c.bench_function("ablation_source_p", |b| b.iter(|| sim.run_with(2, true, false)));
+    c.bench_function("ablation_source_p", |b| {
+        b.iter(|| sim.run_with(2, true, false))
+    });
     c.bench_function("ablation_source_announce", |b| {
         b.iter(|| sim.run_with(2, true, true))
     });

@@ -1,0 +1,118 @@
+//! The perf-trajectory baseline: a small, fixed set of kernels whose
+//! results are snapshotted into `BENCH_baseline.json` at the repo root so
+//! future optimization PRs have concrete numbers to beat.
+//!
+//! Regenerate the snapshot with:
+//!
+//! ```text
+//! BENCH_OUTPUT_JSON=BENCH_baseline.json cargo bench --bench baseline
+//! ```
+//!
+//! Kernels:
+//!
+//! * `deployment_edges_grid_n5000` vs `deployment_edges_brute_n5000` — the
+//!   spatial-hash unit-disk edge build against the O(n²) reference at
+//!   N = 5000, Δ = 10 (the acceptance criterion is ≥10× here).
+//! * `deployment_build_n10000` — full 10k-node deployment construction,
+//!   infeasible with the brute path at interactive timescales.
+//! * `event_queue_churn_100k` — schedule/cancel/pop mix exercising the
+//!   generation-stamped slot queue.
+//! * `net_sim_run_120s` — one end-to-end realistic-simulator run.
+//! * `fig06_quick_effort` — one full figure regeneration at quick effort.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pbbf_des::{EventQueue, SimRng, SimTime};
+use pbbf_experiments::{fig06, Effort};
+use pbbf_net_sim::{NetConfig, NetMode, NetSim};
+use pbbf_topology::{
+    area_for_density, unit_disk_edges, unit_disk_edges_brute, Point2, RandomDeployment,
+};
+
+fn positions_at_density(n: usize, range: f64, delta: f64, seed: u64) -> (Vec<Point2>, f64) {
+    let side = area_for_density(range, n, delta).sqrt();
+    let mut rng = SimRng::new(seed);
+    let positions = (0..n)
+        .map(|_| Point2::new(rng.uniform01() * side, rng.uniform01() * side))
+        .collect();
+    (positions, side)
+}
+
+fn deployment_edges(c: &mut Criterion) {
+    let (positions, _) = positions_at_density(5000, 30.0, 10.0, 42);
+    let mut grid = unit_disk_edges(&positions, 30.0);
+    grid.sort_unstable();
+    assert_eq!(
+        grid,
+        unit_disk_edges_brute(&positions, 30.0),
+        "grid and brute-force edge sets must agree"
+    );
+    c.bench_function("deployment_edges_grid_n5000", |b| {
+        b.iter(|| unit_disk_edges(black_box(&positions), 30.0))
+    });
+    c.bench_function("deployment_edges_brute_n5000", |b| {
+        b.iter(|| unit_disk_edges_brute(black_box(&positions), 30.0))
+    });
+}
+
+fn deployment_build_10k(c: &mut Criterion) {
+    let (positions, side) = positions_at_density(10_000, 30.0, 10.0, 43);
+    c.bench_function("deployment_build_n10000", |b| {
+        b.iter(|| RandomDeployment::from_positions(black_box(positions.clone()), 30.0, side))
+    });
+}
+
+fn event_queue_churn(c: &mut Criterion) {
+    c.bench_function("event_queue_churn_100k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut handles = Vec::with_capacity(64);
+            let mut acc = 0u64;
+            // A MAC-like mix: burst-schedule timers, cancel half of them,
+            // drain some, repeat.
+            for round in 0..1000u64 {
+                let base = SimTime::from_nanos(round * 1_000_000);
+                handles.clear();
+                for i in 0..100u64 {
+                    handles.push(q.schedule(base + pbbf_des::SimDuration::from_nanos(i * 7919), i));
+                }
+                for h in handles.iter().skip(1).step_by(2) {
+                    q.cancel(*h);
+                }
+                for _ in 0..50 {
+                    if let Some((_, e)) = q.pop() {
+                        acc = acc.wrapping_add(e);
+                    }
+                }
+            }
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            acc
+        })
+    });
+}
+
+fn net_sim_run(c: &mut Criterion) {
+    let mut cfg = NetConfig::table2();
+    cfg.duration_secs = 120.0;
+    let sim = NetSim::new(
+        cfg,
+        NetMode::SleepScheduled(pbbf_core::PbbfParams::new(0.25, 0.25).expect("valid")),
+    );
+    c.bench_function("net_sim_run_120s", |b| b.iter(|| sim.run(4)));
+}
+
+fn figure_quick(c: &mut Criterion) {
+    let effort = Effort::quick();
+    c.bench_function("fig06_quick_effort", |b| b.iter(|| fig06(&effort, 2005)));
+}
+
+criterion_group! {
+    name = baseline;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = deployment_edges, deployment_build_10k, event_queue_churn, net_sim_run, figure_quick
+}
+criterion_main!(baseline);

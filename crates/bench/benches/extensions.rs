@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pbbf_bench::{bench_effort, print_exhibit};
-use pbbf_experiments::{ext_adaptive_convergence, ext_gossip_vs_pbbf, ext_k_tradeoff, ext_latency_tail, Effort};
+use pbbf_experiments::{
+    ext_adaptive_convergence, ext_gossip_vs_pbbf, ext_k_tradeoff, ext_latency_tail, Effort,
+};
 use pbbf_metrics::Figure;
 
 type ExhibitFn = fn(&Effort, u64) -> Figure;

@@ -1,0 +1,276 @@
+//! Offline mini-criterion: the `Criterion` / `Bencher` / `criterion_group!`
+//! / `criterion_main!` surface this workspace's benches use, backed by a
+//! simple calibrated timing loop instead of criterion's statistics engine.
+//!
+//! Differences from real criterion, by design:
+//!
+//! * A bench stops at whichever comes first of `sample_size` samples or the
+//!   `measurement_time` budget (real criterion always collects the full
+//!   sample count), keeping full-suite runs fast on CI boxes.
+//! * When the environment variable `BENCH_OUTPUT_JSON` names a path, the
+//!   results of every group in the process are written there as one JSON
+//!   document — this is how `BENCH_baseline.json` is produced (see the
+//!   `baseline` bench in `crates/bench`).
+
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant, SystemTime};
+
+/// Results from every group in the process, so a bench binary with
+/// several `criterion_group!`s writes one merged JSON document instead of
+/// each group's `Drop` truncating the previous group's output.
+fn process_registry() -> &'static Mutex<Vec<BenchResult>> {
+    static REGISTRY: OnceLock<Mutex<Vec<BenchResult>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// An opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One bench's measurements, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Bench id as passed to [`Criterion::bench_function`].
+    pub name: String,
+    /// Mean time per iteration (ns).
+    pub mean_ns: f64,
+    /// Median time per iteration (ns).
+    pub median_ns: f64,
+    /// Fastest sample (ns).
+    pub min_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// The bench driver: configuration plus collected results.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of samples per bench.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement-time budget per bench.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per bench.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one bench and records + prints its result.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            eprintln!("warning: bench `{id}` collected no samples");
+            return self;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let mean_ns = samples.iter().sum::<f64>() / samples.len() as f64;
+        let median_ns = samples[samples.len() / 2];
+        let result = BenchResult {
+            name: id.to_string(),
+            mean_ns,
+            median_ns,
+            min_ns: samples[0],
+            samples: samples.len(),
+        };
+        println!(
+            "{id:<44} time: [median {} mean {}] ({} samples)",
+            fmt_ns(result.median_ns),
+            fmt_ns(result.mean_ns),
+            result.samples
+        );
+        self.results.push(result);
+        self
+    }
+
+    /// The results collected so far.
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        let Ok(path) = std::env::var("BENCH_OUTPUT_JSON") else {
+            return;
+        };
+        if self.results.is_empty() {
+            return;
+        }
+        let mut all = process_registry().lock().expect("registry poisoned");
+        all.extend(self.results.drain(..));
+        match write_json(&path, &all) {
+            Ok(()) => println!("wrote {} bench results to {path}", all.len()),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn write_json(path: &str, results: &[BenchResult]) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let unix_secs = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"pbbf-bench-v1\",");
+    let _ = writeln!(out, "  \"unix_time\": {unix_secs},");
+    let _ = writeln!(out, "  \"benches\": [");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \
+             \"min_ns\": {:.1}, \"samples\": {}}}{comma}",
+            r.name.replace('"', "'"),
+            r.median_ns,
+            r.mean_ns,
+            r.min_ns,
+            r.samples
+        );
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+/// Times one routine inside a bench function.
+pub struct Bencher {
+    samples: Vec<f64>,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, timing each execution (batched when the
+    /// routine is too fast to time individually).
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Calibrate with a single call (also serves as minimal warm-up).
+        let t0 = Instant::now();
+        black_box(routine());
+        let first = t0.elapsed();
+
+        // Batch sub-10µs routines so timer overhead does not dominate.
+        let batch = if first < Duration::from_micros(10) {
+            let per_iter = first.as_nanos().max(1);
+            ((10_000 / per_iter) as usize).clamp(1, 100_000)
+        } else {
+            1
+        };
+
+        let warm_end = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_end {
+            black_box(routine());
+        }
+
+        let deadline = Instant::now() + self.measurement_time;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let per_iter_ns = start.elapsed().as_secs_f64() * 1e9 / batch as f64;
+            self.samples.push(per_iter_ns);
+            if self.samples.len() >= self.sample_size || Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a bench group: a function running each target against one
+/// configured [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_collects_samples_and_stats() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let r = &c.results()[0];
+        assert_eq!(r.name, "spin");
+        assert!(r.samples >= 1);
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.mean_ns > 0.0);
+        c.results.clear(); // avoid Drop writing when BENCH_OUTPUT_JSON is set
+    }
+}

@@ -1,0 +1,55 @@
+//! Offline stand-in for the `rand` API surface this workspace uses:
+//! the [`RngCore`] trait and its [`Error`] type. The workspace's generators
+//! (`SimRng` in `pbbf-des`) implement the trait; no generator or
+//! distribution machinery is needed here.
+
+use std::fmt;
+
+/// A random-number generator core: the subset of `rand::RngCore` the
+/// workspace's simulators rely on.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fills `dest`, reporting failure (never fails for deterministic
+    /// generators).
+    ///
+    /// # Errors
+    ///
+    /// Implementations backed by fallible entropy sources may fail; the
+    /// deterministic generators in this workspace never do.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// Random-generation error (mirrors `rand::Error`'s role).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("random generation failed")
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,489 @@
+//! `#[derive(Serialize, Deserialize)]` for the `pbbf-serde` shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline). Supports what this workspace's types
+//! need, generating serde's default externally-tagged representation:
+//!
+//! * structs with named fields → JSON objects
+//! * newtype structs → the inner value
+//! * tuple structs → arrays
+//! * enums with unit / newtype / struct variants → `"Variant"` or
+//!   `{"Variant": ...}`
+//!
+//! Generic types are *not* supported — hand-write those impls (see
+//! `StateClock` in `pbbf-metrics`). Field attributes such as
+//! `#[serde(with = ...)]` are likewise out of scope and rejected.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `pbbf-serde`'s `Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `pbbf-serde`'s `Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("pbbf-serde-derive generated invalid Rust"),
+        Err(msg) => format!("::core::compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error is valid Rust"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips `#[...]` attributes (including doc comments).
+    fn skip_attributes(&mut self) -> Result<(), String> {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1;
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                _ => return Err("expected `[...]` after `#`".to_string()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == c {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Skips a field's type: everything up to a comma at angle-bracket
+    /// depth zero (groups are atomic tokens, so parens/brackets nest for
+    /// free). The trailing comma, if present, is consumed.
+    fn skip_type_to_comma(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(tok) = self.peek() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        self.pos += 1;
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attributes()?;
+    c.skip_visibility();
+    let kind = c.expect_ident()?;
+    let name = c.expect_ident()?;
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "pbbf-serde derive does not support generics on `{name}`; \
+                 hand-write the Serialize/Deserialize impls"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_named_fields(g.stream())?
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unexpected token after struct name: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, found {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Fields, String> {
+    let mut c = Cursor::new(stream);
+    let mut names = Vec::new();
+    while !c.at_end() {
+        c.skip_attributes()?;
+        c.skip_visibility();
+        if c.at_end() {
+            break;
+        }
+        names.push(c.expect_ident()?);
+        if !c.eat_punct(':') {
+            return Err("expected `:` after field name".to_string());
+        }
+        c.skip_type_to_comma();
+    }
+    Ok(Fields::Named(names))
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    while !c.at_end() {
+        count += 1;
+        // A field may start with attributes / visibility; skip_type eats
+        // everything to the next top-level comma either way.
+        c.skip_type_to_comma();
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.skip_attributes()?;
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident()?;
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                c.pos += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream())?;
+                c.pos += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        if !c.eat_punct(',') && !c.at_end() {
+            return Err(format!("expected `,` after variant `{name}`"));
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const MAP_ERR: &str = ".map_err(|e| <D::Error as ::serde::de::Error>::custom(e))?";
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => (name, ser_struct_body(name, fields)),
+        Item::Enum { name, variants } => (name, ser_enum_body(name, variants)),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 serializer.serialize_value({body})\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn ser_struct_body(_name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => obj_literal(
+            names
+                .iter()
+                .map(|f| (f.clone(), format!("::serde::to_value(&self.{f})"))),
+        ),
+        Fields::Tuple(1) => "::serde::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => arr_literal((0..*n).map(|i| format!("::serde::to_value(&self.{i})"))),
+        Fields::Unit => "::serde::Json::Null".to_string(),
+    }
+}
+
+fn ser_enum_body(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                Fields::Unit => format!(
+                    "{name}::{vname} => \
+                     ::serde::Json::Str(::std::string::String::from(\"{vname}\")),\n"
+                ),
+                Fields::Tuple(1) => format!(
+                    "{name}::{vname}(__f0) => {},\n",
+                    tagged(vname, "::serde::to_value(__f0)")
+                ),
+                Fields::Tuple(n) => {
+                    let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                    let arr =
+                        arr_literal(binders.iter().map(|b| format!("::serde::to_value({b})")));
+                    format!(
+                        "{name}::{vname}({}) => {},\n",
+                        binders.join(", "),
+                        tagged(vname, &arr)
+                    )
+                }
+                Fields::Named(field_names) => {
+                    let obj = obj_literal(
+                        field_names
+                            .iter()
+                            .map(|f| (f.clone(), format!("::serde::to_value({f})"))),
+                    );
+                    format!(
+                        "{name}::{vname} {{ {} }} => {},\n",
+                        field_names.join(", "),
+                        tagged(vname, &obj)
+                    )
+                }
+            }
+        })
+        .collect();
+    format!("match self {{\n{arms}}}")
+}
+
+fn tagged(variant: &str, inner: &str) -> String {
+    format!(
+        "::serde::Json::Obj(::std::vec![(::std::string::String::from(\"{variant}\"), {inner})])"
+    )
+}
+
+fn obj_literal(fields: impl Iterator<Item = (String, String)>) -> String {
+    let entries: String = fields
+        .map(|(k, v)| format!("(::std::string::String::from(\"{k}\"), {v}),\n"))
+        .collect();
+    format!("::serde::Json::Obj(::std::vec![\n{entries}])")
+}
+
+fn arr_literal(items: impl Iterator<Item = String>) -> String {
+    let entries: String = items.map(|v| format!("{v},\n")).collect();
+    format!("::serde::Json::Arr(::std::vec![\n{entries}])")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => (name, de_struct_body(name, fields)),
+        Item::Enum { name, variants } => (name, de_enum_body(name, variants)),
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D)\n\
+                 -> ::core::result::Result<Self, D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn de_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let assignments: String = names
+                .iter()
+                .map(|f| format!("{f}: __obj.field(\"{f}\"){MAP_ERR},\n"))
+                .collect();
+            format!(
+                "let mut __obj = ::serde::ObjAccess::new(deserializer.take_value()?, \
+                 \"{name}\"){MAP_ERR};\n\
+                 ::core::result::Result::Ok({name} {{\n{assignments}}})"
+            )
+        }
+        Fields::Tuple(1) => format!(
+            "::core::result::Result::Ok({name}(\
+             ::serde::from_value(deserializer.take_value()?){MAP_ERR}))"
+        ),
+        Fields::Tuple(n) => format!(
+            "let __items = ::serde::take_arr(deserializer.take_value()?, {n}, \
+             \"{name}\"){MAP_ERR};\n\
+             let mut __it = __items.into_iter();\n\
+             ::core::result::Result::Ok({name}({}))",
+            (0..*n)
+                .map(|_| format!(
+                    "::serde::from_value(__it.next().expect(\"length checked\")){MAP_ERR}"
+                ))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Fields::Unit => format!("::core::result::Result::Ok({name})"),
+    }
+}
+
+fn de_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| {
+            format!(
+                "\"{0}\" => ::core::result::Result::Ok({name}::{0}),\n",
+                v.name
+            )
+        })
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter(|v| !matches!(v.fields, Fields::Unit))
+        .map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                Fields::Tuple(1) => format!(
+                    "\"{vname}\" => ::core::result::Result::Ok(\
+                     {name}::{vname}(::serde::from_value(__inner)?)),\n"
+                ),
+                Fields::Tuple(n) => {
+                    let elems = (0..*n)
+                        .map(|_| {
+                            "::serde::from_value(__it.next().expect(\"length checked\"))?"
+                                .to_string()
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!(
+                        "\"{vname}\" => {{\n\
+                         let __items = ::serde::take_arr(__inner, {n}, \"{name}::{vname}\")?;\n\
+                         let mut __it = __items.into_iter();\n\
+                         ::core::result::Result::Ok({name}::{vname}({elems}))\n\
+                         }},\n"
+                    )
+                }
+                Fields::Named(field_names) => {
+                    let assignments: String = field_names
+                        .iter()
+                        .map(|f| format!("{f}: __obj.field(\"{f}\")?,\n"))
+                        .collect();
+                    format!(
+                        "\"{vname}\" => {{\n\
+                         let mut __obj = \
+                         ::serde::ObjAccess::new(__inner, \"{name}::{vname}\")?;\n\
+                         ::core::result::Result::Ok({name}::{vname} {{\n{assignments}}})\n\
+                         }},\n"
+                    )
+                }
+                Fields::Unit => unreachable!("filtered"),
+            }
+        })
+        .collect();
+    format!(
+        "let __value = deserializer.take_value()?;\n\
+         let __result: ::core::result::Result<{name}, ::serde::Error> = \
+         (|| match __value {{\n\
+             ::serde::Json::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::core::result::Result::Err(::serde::Error::msg(\
+                     ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+             }},\n\
+             ::serde::Json::Obj(mut __entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = __entries.pop().expect(\"length checked\");\n\
+                 match __tag.as_str() {{\n\
+                     {tagged_arms}\
+                     __other => ::core::result::Result::Err(::serde::Error::msg(\
+                         ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}\n\
+             }},\n\
+             __other => ::core::result::Result::Err(::serde::Error::msg(::std::format!(\
+                 \"{name}: expected string or single-key object, found {{}}\", \
+                 __other.type_name()))),\n\
+         }})();\n\
+         __result.map_err(|e| <D::Error as ::serde::de::Error>::custom(e))"
+    )
+}

@@ -1,0 +1,88 @@
+//! Offline stand-in for the `serde_json` functions this workspace uses
+//! (`to_string`, `to_string_pretty`, `from_str`), delegating to the
+//! `pbbf-serde` value model and its JSON text layer.
+
+pub use serde::Error;
+
+/// The JSON value type (alias of the shim's [`serde::Json`]).
+pub type Value = serde::Json;
+
+/// Serializes `value` as compact JSON text.
+///
+/// # Errors
+///
+/// Infallible in this model; the `Result` mirrors `serde_json`'s API.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::render_json(&serde::to_value(value), false))
+}
+
+/// Serializes `value` as pretty-printed JSON text.
+///
+/// # Errors
+///
+/// Infallible in this model; the `Result` mirrors `serde_json`'s API.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::render_json(&serde::to_value(value), true))
+}
+
+/// Parses JSON text into a `T`.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or a shape mismatch.
+pub fn from_str<T>(input: &str) -> Result<T, Error>
+where
+    T: for<'de> serde::Deserialize<'de>,
+{
+    serde::from_value(serde::parse_json(input)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Sample {
+        name: String,
+        values: Vec<f64>,
+        count: u64,
+        tag: Option<String>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        Unit,
+        New(u64),
+        Struct { x: f64, on: bool },
+    }
+
+    #[test]
+    fn struct_round_trip() {
+        let s = Sample {
+            name: "PBBF-0.5".to_string(),
+            values: vec![0.5, 1.0, -2.25],
+            count: 3,
+            tag: None,
+        };
+        let text = super::to_string(&s).unwrap();
+        assert_eq!(super::from_str::<Sample>(&text).unwrap(), s);
+        let pretty = super::to_string_pretty(&s).unwrap();
+        assert_eq!(super::from_str::<Sample>(&pretty).unwrap(), s);
+    }
+
+    #[test]
+    fn enum_round_trip_all_variant_shapes() {
+        for k in [Kind::Unit, Kind::New(9), Kind::Struct { x: 0.5, on: true }] {
+            let text = super::to_string(&k).unwrap();
+            assert_eq!(super::from_str::<Kind>(&text).unwrap(), k);
+        }
+        assert_eq!(super::to_string(&Kind::Unit).unwrap(), "\"Unit\"");
+        assert_eq!(super::to_string(&Kind::New(9)).unwrap(), "{\"New\":9}");
+    }
+
+    #[test]
+    fn missing_field_reports_name() {
+        let err = super::from_str::<Sample>("{\"name\":\"x\"}").unwrap_err();
+        assert!(err.to_string().contains("missing field"), "{err}");
+    }
+}

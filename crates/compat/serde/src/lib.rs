@@ -1,0 +1,520 @@
+//! Offline stand-in for the subset of the `serde` API this workspace uses.
+//!
+//! The build container has no access to crates.io, so the workspace aliases
+//! `serde = { package = "pbbf-serde", ... }`. Consumer code keeps writing
+//! the familiar surface — `#[derive(Serialize, Deserialize)]`,
+//! `fn serialize<S: Serializer>`, `serde::de::Error::custom` — but the
+//! machinery underneath is a simple JSON value model ([`Json`]) rather than
+//! serde's visitor architecture:
+//!
+//! * [`Serialize`] turns a value into a [`Json`] tree via [`to_value`] and
+//!   hands it to whatever [`Serializer`] was supplied.
+//! * [`Deserialize`] takes the [`Json`] tree out of a [`Deserializer`] and
+//!   rebuilds the value via [`from_value`].
+//!
+//! The derive macros (re-exported from `pbbf-serde-derive`) generate
+//! externally-tagged representations matching serde's defaults, so swapping
+//! the real serde back in later does not change the JSON produced for the
+//! types in this workspace.
+
+mod text;
+
+use std::fmt;
+
+pub use pbbf_serde_derive::{Deserialize, Serialize};
+pub use text::{parse_json, render_json};
+
+/// A JSON value: the interchange model behind the [`Serialize`] and
+/// [`Deserialize`] traits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A negative integer (non-negative integers parse as [`Json::U64`]).
+    I64(i64),
+    /// A non-negative integer.
+    U64(u64),
+    /// A number with a fractional part or exponent.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, preserving insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A short human-readable name of the value's type, for errors.
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::I64(_) | Json::U64(_) => "integer",
+            Json::F64(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+/// Serialization / deserialization error: a message, as in `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn msg(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Mirror of `serde::de`: the error-construction trait custom
+/// `Deserialize` impls use.
+pub mod de {
+    /// Construction of deserialization errors from display-able messages.
+    pub trait Error: Sized {
+        /// Builds an error carrying `msg`.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    impl Error for crate::Error {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            crate::Error::msg(msg.to_string())
+        }
+    }
+}
+
+/// A sink for one serialized value.
+pub trait Serializer: Sized {
+    /// What a successful serialization yields.
+    type Ok;
+    /// The error type.
+    type Error;
+    /// Consumes the serializer with the fully-built value tree.
+    fn serialize_value(self, value: Json) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A value that can serialize itself into any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// The identity serializer: yields the [`Json`] tree itself.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Json;
+    type Error = Error;
+    fn serialize_value(self, value: Json) -> Result<Json, Error> {
+        Ok(value)
+    }
+}
+
+/// Serializes any value to a [`Json`] tree (infallible in this model).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Json {
+    match value.serialize(ValueSerializer) {
+        Ok(v) => v,
+        Err(e) => unreachable!("value serialization is infallible: {e}"),
+    }
+}
+
+/// A source of one [`Json`] value.
+pub trait Deserializer<'de>: Sized {
+    /// The error type.
+    type Error: de::Error;
+    /// Consumes the deserializer, yielding the value tree.
+    fn take_value(self) -> Result<Json, Self::Error>;
+}
+
+/// A value that can rebuild itself from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// The identity deserializer over an owned [`Json`] tree.
+pub struct ValueDeserializer(pub Json);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = Error;
+    fn take_value(self) -> Result<Json, Error> {
+        Ok(self.0)
+    }
+}
+
+/// Rebuilds a `T` from a [`Json`] tree.
+///
+/// # Errors
+///
+/// Returns an error when the tree's shape does not match `T`.
+pub fn from_value<T>(value: Json) -> Result<T, Error>
+where
+    T: for<'de> Deserialize<'de>,
+{
+    T::deserialize(ValueDeserializer(value))
+}
+
+/// Takes an array of exactly `len` elements out of `value`, used by
+/// derived `Deserialize` impls for tuple shapes.
+///
+/// # Errors
+///
+/// Returns an error if `value` is not an array of that length.
+pub fn take_arr(value: Json, len: usize, type_name: &'static str) -> Result<Vec<Json>, Error> {
+    match value {
+        Json::Arr(items) if items.len() == len => Ok(items),
+        Json::Arr(items) => Err(Error::msg(format!(
+            "{type_name}: expected {len} elements, found {}",
+            items.len()
+        ))),
+        other => Err(Error::msg(format!(
+            "{type_name}: expected array, found {}",
+            other.type_name()
+        ))),
+    }
+}
+
+/// Field-by-field access to a [`Json::Obj`], used by derived
+/// `Deserialize` impls.
+pub struct ObjAccess {
+    type_name: &'static str,
+    entries: Vec<(String, Json)>,
+}
+
+impl ObjAccess {
+    /// Starts consuming `value`, which must be an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `value` is not an object.
+    pub fn new(value: Json, type_name: &'static str) -> Result<Self, Error> {
+        match value {
+            Json::Obj(entries) => Ok(Self { type_name, entries }),
+            other => Err(Error::msg(format!(
+                "{type_name}: expected object, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Removes and deserializes the field named `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the field is missing or has the wrong shape.
+    pub fn field<T>(&mut self, key: &str) -> Result<T, Error>
+    where
+        T: for<'de> Deserialize<'de>,
+    {
+        let idx = self
+            .entries
+            .iter()
+            .position(|(k, _)| k == key)
+            .ok_or_else(|| Error::msg(format!("{}: missing field `{key}`", self.type_name)))?;
+        let (_, v) = self.entries.swap_remove(idx);
+        from_value(v).map_err(|e| Error::msg(format!("{}.{key}: {e}", self.type_name)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for primitives and containers
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Json::U64(u64::from(*self)))
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Json::U64(*self as u64))
+    }
+}
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = i64::from(*self);
+                let json = if v >= 0 { Json::U64(v as u64) } else { Json::I64(v) };
+                serializer.serialize_value(json)
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (*self as i64).serialize(serializer)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Json::F64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Json::F64(f64::from(*self)))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Json::Bool(*self))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Json::Str(self.clone()))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Json::Str(self.to_string()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_value(Json::Null),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Json::Arr(self.iter().map(|v| to_value(v)).collect()))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Json::Arr(vec![to_value(&self.0), to_value(&self.1)]))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Json::Arr(vec![
+            to_value(&self.0),
+            to_value(&self.1),
+            to_value(&self.2),
+        ]))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for primitives and containers
+// ---------------------------------------------------------------------------
+
+fn wrong_type<T>(expected: &str, found: &Json) -> Result<T, Error> {
+    Err(Error::msg(format!(
+        "expected {expected}, found {}",
+        found.type_name()
+    )))
+}
+
+fn take_u64(value: &Json) -> Result<u64, Error> {
+    match value {
+        Json::U64(v) => Ok(*v),
+        Json::I64(v) if *v >= 0 => Ok(*v as u64),
+        other => wrong_type("unsigned integer", other),
+    }
+}
+
+impl<'de> Deserialize<'de> for u64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.take_value()?;
+        take_u64(&v).map_err(de::Error::custom)
+    }
+}
+
+macro_rules! de_small_unsigned {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let v = deserializer.take_value()?;
+                let wide = take_u64(&v).map_err(de::Error::custom)?;
+                <$t>::try_from(wide)
+                    .map_err(|_| de::Error::custom(format!("{wide} overflows {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_small_unsigned!(u8, u16, u32, usize);
+
+impl<'de> Deserialize<'de> for i64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Json::I64(v) => Ok(v),
+            Json::U64(v) => {
+                i64::try_from(v).map_err(|_| de::Error::custom(format!("{v} overflows i64")))
+            }
+            other => wrong_type("integer", &other).map_err(de::Error::custom),
+        }
+    }
+}
+
+macro_rules! de_small_signed {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let wide = i64::deserialize(deserializer)?;
+                <$t>::try_from(wide)
+                    .map_err(|_| de::Error::custom(format!("{wide} overflows {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_small_signed!(i8, i16, i32, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Json::F64(v) => Ok(v),
+            Json::I64(v) => Ok(v as f64),
+            Json::U64(v) => Ok(v as f64),
+            other => wrong_type("number", &other).map_err(de::Error::custom),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(f64::deserialize(deserializer)? as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Json::Bool(v) => Ok(v),
+            other => wrong_type("bool", &other).map_err(de::Error::custom),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Json::Str(v) => Ok(v),
+            other => wrong_type("string", &other).map_err(de::Error::custom),
+        }
+    }
+}
+
+impl<'de, T> Deserialize<'de> for Option<T>
+where
+    T: for<'a> Deserialize<'a>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Json::Null => Ok(None),
+            other => from_value(other).map(Some).map_err(de::Error::custom),
+        }
+    }
+}
+
+impl<'de, T> Deserialize<'de> for Vec<T>
+where
+    T: for<'a> Deserialize<'a>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Json::Arr(items) => items
+                .into_iter()
+                .map(|v| from_value(v).map_err(de::Error::custom))
+                .collect(),
+            other => wrong_type("array", &other).map_err(de::Error::custom),
+        }
+    }
+}
+
+impl<'de, A, B> Deserialize<'de> for (A, B)
+where
+    A: for<'a> Deserialize<'a>,
+    B: for<'a> Deserialize<'a>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Json::Arr(items) if items.len() == 2 => {
+                let mut it = items.into_iter();
+                let a = from_value(it.next().expect("len 2")).map_err(de::Error::custom)?;
+                let b = from_value(it.next().expect("len 2")).map_err(de::Error::custom)?;
+                Ok((a, b))
+            }
+            other => wrong_type("2-element array", &other).map_err(de::Error::custom),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_through_values() {
+        assert_eq!(to_value(&7u32), Json::U64(7));
+        assert_eq!(to_value(&-3i64), Json::I64(-3));
+        assert_eq!(from_value::<u32>(Json::U64(7)).unwrap(), 7);
+        assert_eq!(from_value::<f64>(Json::U64(7)).unwrap(), 7.0);
+        assert!(from_value::<u8>(Json::U64(300)).is_err());
+        assert!(from_value::<bool>(Json::U64(1)).is_err());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1.0f64, 2.0f64), (3.0, 4.0)];
+        let back: Vec<(f64, f64)> = from_value(to_value(&v)).unwrap();
+        assert_eq!(back, v);
+        let opt: Option<u64> = None;
+        assert_eq!(to_value(&opt), Json::Null);
+        assert_eq!(from_value::<Option<u64>>(Json::Null).unwrap(), None);
+    }
+}

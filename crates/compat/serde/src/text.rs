@@ -1,0 +1,383 @@
+//! JSON text parsing and rendering for the [`Json`](crate::Json) model.
+
+use crate::{Error, Json};
+
+/// Renders a [`Json`] tree as JSON text.
+///
+/// Matches `serde_json`'s conventions where they matter for round-trips:
+/// non-finite floats render as `null`, and integral floats keep a `.0` so
+/// they re-parse as floats.
+#[must_use]
+pub fn render_json(value: &Json, pretty: bool) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, pretty, 0);
+    out
+}
+
+fn write_value(out: &mut String, value: &Json, pretty: bool, depth: usize) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::I64(v) => out.push_str(&v.to_string()),
+        Json::U64(v) => out.push_str(&v.to_string()),
+        Json::F64(v) => write_f64(out, *v),
+        Json::Str(s) => write_string(out, s),
+        Json::Arr(items) => {
+            write_seq(
+                out,
+                pretty,
+                depth,
+                '[',
+                ']',
+                items.iter(),
+                |out, item, d| {
+                    write_value(out, item, pretty, d);
+                },
+            );
+        }
+        Json::Obj(entries) => {
+            write_seq(
+                out,
+                pretty,
+                depth,
+                '{',
+                '}',
+                entries.iter(),
+                |out, (k, v), d| {
+                    write_string(out, k);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    write_value(out, v, pretty, d);
+                },
+            );
+        }
+    }
+}
+
+fn write_seq<I: ExactSizeIterator>(
+    out: &mut String,
+    pretty: bool,
+    depth: usize,
+    open: char,
+    close: char,
+    items: I,
+    mut write_item: impl FnMut(&mut String, I::Item, usize),
+) {
+    out.push(open);
+    let empty = items.len() == 0;
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if pretty {
+            out.push('\n');
+            out.push_str(&"  ".repeat(depth + 1));
+        }
+        write_item(out, item, depth + 1);
+    }
+    if pretty && !empty {
+        out.push('\n');
+        out.push_str(&"  ".repeat(depth));
+    }
+    out.push(close);
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e16 {
+        out.push_str(&format!("{v:.1}"));
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses JSON text into a [`Json`] tree.
+///
+/// # Errors
+///
+/// Returns an error describing the first syntax problem found.
+pub fn parse_json(input: &str) -> Result<Json, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, msg: &str) -> Error {
+        Error::msg(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Json::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(entries));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let c = self.parse_unicode_escape()?;
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.error("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.error("bad UTF-8"))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_unicode_escape(&mut self) -> Result<char, Error> {
+        let hi = self.parse_hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // Surrogate pair: expect \uXXXX low surrogate.
+            if self.eat_keyword("\\u") {
+                let lo = self.parse_hex4()?;
+                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                return char::from_u32(code).ok_or_else(|| self.error("bad surrogate pair"));
+            }
+            return Err(self.error("lone surrogate"));
+        }
+        char::from_u32(hi).ok_or_else(|| self.error("bad unicode escape"))
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.error("truncated unicode escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.error("bad unicode escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.error("bad unicode escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Json, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("bad number"))?;
+        if !fractional {
+            if let Ok(v) = s.parse::<u64>() {
+                return Ok(Json::U64(v));
+            }
+            if let Ok(v) = s.parse::<i64>() {
+                return Ok(Json::I64(v));
+            }
+        }
+        s.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| self.error("bad number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_parses_scalars() {
+        assert_eq!(render_json(&Json::F64(1.0), false), "1.0");
+        assert_eq!(render_json(&Json::F64(0.75), false), "0.75");
+        assert_eq!(render_json(&Json::U64(42), false), "42");
+        assert_eq!(render_json(&Json::F64(f64::NAN), false), "null");
+        assert_eq!(parse_json("42").unwrap(), Json::U64(42));
+        assert_eq!(parse_json("-7").unwrap(), Json::I64(-7));
+        assert_eq!(parse_json("0.75").unwrap(), Json::F64(0.75));
+        assert_eq!(parse_json("1e3").unwrap(), Json::F64(1000.0));
+    }
+
+    #[test]
+    fn round_trips_nested_structures() {
+        let v = Json::Obj(vec![
+            ("label".to_string(), Json::Str("PBBF-0.5 \"q\"".to_string())),
+            (
+                "points".to_string(),
+                Json::Arr(vec![Json::F64(0.5), Json::Null, Json::Bool(true)]),
+            ),
+        ]);
+        for pretty in [false, true] {
+            let text = render_json(&v, pretty);
+            assert_eq!(parse_json(&text).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("1 2").is_err());
+        assert!(parse_json("\"\\q\"").is_err());
+    }
+
+    #[test]
+    fn parses_escapes() {
+        assert_eq!(
+            parse_json(r#""a\n\u0041\ud83d\ude00""#).unwrap(),
+            Json::Str("a\nA😀".to_string())
+        );
+    }
+}

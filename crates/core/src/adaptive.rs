@@ -198,9 +198,7 @@ mod tests {
     use super::*;
 
     fn controller(p: f64, q: f64) -> AdaptiveController {
-        AdaptiveController::new(AdaptiveConfig::default_for(
-            PbbfParams::new(p, q).unwrap(),
-        ))
+        AdaptiveController::new(AdaptiveConfig::default_for(PbbfParams::new(p, q).unwrap()))
     }
 
     #[test]

@@ -372,8 +372,14 @@ mod tests {
         assert_eq!(frontier.len(), ps.len());
         for w in frontier.windows(2) {
             assert!(w[1].q_min >= w[0].q_min, "q_min monotone in p");
-            assert!(w[1].link_latency <= w[0].link_latency + 1e-9, "latency falls");
-            assert!(w[1].relative_energy >= w[0].relative_energy - 1e-12, "energy rises");
+            assert!(
+                w[1].link_latency <= w[0].link_latency + 1e-9,
+                "latency falls"
+            );
+            assert!(
+                w[1].relative_energy >= w[0].relative_energy - 1e-12,
+                "energy rises"
+            );
         }
     }
 

@@ -170,7 +170,9 @@ mod tests {
     fn stay_on_frequency_tracks_q() {
         let mut e = engine(0.0, 0.7, 5);
         let n = 100_000;
-        let on = (0..n).filter(|_| e.stay_on_after_active(false, false)).count();
+        let on = (0..n)
+            .filter(|_| e.stay_on_after_active(false, false))
+            .count();
         let freq = on as f64 / n as f64;
         assert!((freq - 0.7).abs() < 0.01, "freq {freq}");
     }

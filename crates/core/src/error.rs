@@ -89,9 +89,15 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = ParamError::ProbabilityOutOfRange { name: "q", value: 2.0 };
+        let e = ParamError::ProbabilityOutOfRange {
+            name: "q",
+            value: 2.0,
+        };
         assert!(e.to_string().contains("`q`"));
-        let e = ParamError::ActiveExceedsFrame { t_active: 11.0, t_frame: 10.0 };
+        let e = ParamError::ActiveExceedsFrame {
+            t_active: 11.0,
+            t_frame: 10.0,
+        };
         assert!(e.to_string().contains("does not fit"));
     }
 }

@@ -44,30 +44,43 @@ pub fn ext_gossip_vs_pbbf(effort: &Effort, seed: u64) -> Figure {
     let mut gossip = Series::new("Gossip (simulated)");
     let mut pbbf = Series::new("PBBF-0.75 (simulated)");
     for (xi, &x) in xs.iter().enumerate() {
-        let mut g_frac = 0.0;
-        let mut p_frac = 0.0;
-        for r in 0..effort.runs {
-            let s = mix(seed, (xi as u64) << 32 | u64::from(r));
-            g_frac += IdealSim::new(cfg, Mode::Gossip { forward_probability: x })
-                .run(s)
-                .mean_delivered_fraction();
+        // Both simulators' runs fan out together; per-run streams depend
+        // only on (seed, x index, run index) and sums fold in run order.
+        let fractions = pbbf_parallel::par_run(effort.runs as usize, |r| {
+            let s = mix(seed, (xi as u64) << 32 | r as u64);
+            let g = IdealSim::new(
+                cfg,
+                Mode::Gossip {
+                    forward_probability: x,
+                },
+            )
+            .run(s)
+            .mean_delivered_fraction();
             let params = PbbfParams::new(0.75, x).expect("valid");
-            p_frac += IdealSim::new(cfg, Mode::SleepScheduled(params))
+            let p = IdealSim::new(cfg, Mode::SleepScheduled(params))
                 .run(s)
                 .mean_delivered_fraction();
+            (g, p)
+        });
+        let (mut g_frac, mut p_frac) = (0.0, 0.0);
+        for (g, p) in fractions {
+            g_frac += g;
+            p_frac += p;
         }
         gossip.push(x, g_frac / f64::from(effort.runs));
         pbbf.push(x, p_frac / f64::from(effort.runs));
     }
 
     // Newman–Ziff site-percolation prediction: mean source-cluster
-    // fraction when a fraction x of the other sites forward.
+    // fraction when a fraction x of the other sites forward. Each sweep
+    // draws an independent substream so the fan-out stays deterministic.
     let grid = Grid::square(effort.ideal_grid_side);
     let nz = NewmanZiff::new(grid.topology(), grid.center());
-    let mut rng = SimRng::new(mix(seed, 0xFACE));
-    let sweeps: Vec<Vec<f64>> = (0..effort.nz_runs.max(1))
-        .map(|_| nz.site_sweep(&mut rng))
-        .collect();
+    let base = SimRng::new(mix(seed, 0xFACE));
+    let sweeps: Vec<Vec<f64>> = pbbf_parallel::par_run(effort.nz_runs.max(1) as usize, |i| {
+        let mut rng = base.substream(i as u64);
+        nz.site_sweep(&mut rng)
+    });
     let mut predicted = Series::new("Gossip (site percolation)");
     let n = grid.topology().len();
     for &x in &xs {
@@ -95,16 +108,20 @@ pub fn ext_adaptive_convergence(effort: &Effort, seed: u64) -> Figure {
     let mode = NetMode::Adaptive(AdaptiveConfig::default_for(initial));
     let sim = NetSim::new(cfg, mode);
 
+    // Runs fan out; traces are folded sequentially in run order below, so
+    // the accumulated means match the sequential loop exactly.
+    let traces = pbbf_parallel::par_run(effort.runs as usize, |r| {
+        sim.run(mix(seed, r as u64)).adaptive_trace
+    });
     let mut p_acc: Vec<f64> = Vec::new();
     let mut q_acc: Vec<f64> = Vec::new();
     let mut runs_done = 0u32;
-    for r in 0..effort.runs {
-        let s = sim.run(mix(seed, u64::from(r)));
+    for trace in traces {
         if p_acc.is_empty() {
-            p_acc = vec![0.0; s.adaptive_trace.len()];
-            q_acc = vec![0.0; s.adaptive_trace.len()];
+            p_acc = vec![0.0; trace.len()];
+            q_acc = vec![0.0; trace.len()];
         }
-        for (i, &(p, q)) in s.adaptive_trace.iter().enumerate() {
+        for (i, &(p, q)) in trace.iter().enumerate() {
             if i < p_acc.len() {
                 p_acc[i] += p;
                 q_acc[i] += q;
@@ -141,8 +158,10 @@ pub fn ext_latency_tail(effort: &Effort, seed: u64) -> Figure {
         let mode = NetMode::SleepScheduled(PbbfParams::new(0.5, q).expect("valid"));
         let sim = NetSim::new(cfg, mode);
         let mut hist = Histogram::new(0.0, 120.0, 240);
-        for r in 0..effort.runs {
-            let s = sim.run(mix(seed, (qi as u64) << 32 | u64::from(r)));
+        let stats = pbbf_parallel::par_run(effort.runs as usize, |r| {
+            sim.run(mix(seed, (qi as u64) << 32 | r as u64))
+        });
+        for s in &stats {
             for (u, gen) in s.gen_times.iter().enumerate() {
                 for (node, t) in s.receptions[u].iter().enumerate() {
                     if node == s.source.index() {
@@ -186,12 +205,11 @@ pub fn ext_k_tradeoff(effort: &Effort, seed: u64) -> Figure {
         cfg.k = k;
         let mode = NetMode::SleepScheduled(PbbfParams::new(0.5, 0.25).expect("valid"));
         let sim = NetSim::new(cfg, mode);
-        let mut acc = 0.0;
-        for r in 0..effort.runs {
-            acc += sim
-                .run(mix(seed, (ki as u64) << 32 | u64::from(r)))
-                .mean_delivery_ratio();
-        }
+        let ratios = pbbf_parallel::par_run(effort.runs as usize, |r| {
+            sim.run(mix(seed, (ki as u64) << 32 | r as u64))
+                .mean_delivery_ratio()
+        });
+        let acc: f64 = ratios.iter().sum();
         ratio.push(k as f64, acc / f64::from(effort.runs));
         payload.push(k as f64, k as f64);
     }

@@ -25,18 +25,14 @@ fn ideal_config(effort: &Effort) -> IdealConfig {
 
 fn runs(mode: Mode, effort: &Effort, seed: u64) -> Vec<RunStats> {
     let sim = IdealSim::new(ideal_config(effort), mode);
-    (0..effort.runs)
-        .map(|r| sim.run(mix(seed, u64::from(r))))
-        .collect()
+    // Each run's stream depends only on (seed, run index); the fan-out
+    // returns results in index order, matching the sequential loop.
+    pbbf_parallel::par_run(effort.runs as usize, |r| sim.run(mix(seed, r as u64)))
 }
 
 /// Sweeps the metric over q for every PBBF line, plus flat PSM and NO-PSM
 /// baselines (whose behavior does not depend on q).
-fn sweep(
-    effort: &Effort,
-    seed: u64,
-    metric: impl Fn(&RunStats) -> Option<f64>,
-) -> Vec<Series> {
+fn sweep(effort: &Effort, seed: u64, metric: impl Fn(&RunStats) -> Option<f64>) -> Vec<Series> {
     let qs = effort.q_values();
     let mut series = Vec::new();
 

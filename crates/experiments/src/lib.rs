@@ -34,7 +34,9 @@ mod tables;
 mod tradeoff_fig;
 
 pub use effort::Effort;
-pub use extensions::{ext_adaptive_convergence, ext_gossip_vs_pbbf, ext_k_tradeoff, ext_latency_tail};
+pub use extensions::{
+    ext_adaptive_convergence, ext_gossip_vs_pbbf, ext_k_tradeoff, ext_latency_tail,
+};
 pub use ideal_figs::{fig04, fig05, fig08, fig09, fig10, fig11};
 pub use net_figs::{fig13, fig14, fig15, fig16, fig17, fig18};
 pub use percolation_figs::{fig06, fig07};

@@ -34,12 +34,18 @@ fn run_point(
     mode: NetMode,
     effort: &Effort,
     seed: u64,
-    metric: &impl Fn(&NetRunStats) -> Option<f64>,
+    metric: &(impl Fn(&NetRunStats) -> Option<f64> + Sync),
 ) -> Option<ConfidenceInterval> {
     let sim = NetSim::new(cfg, mode);
-    let vals: Summary = (0..effort.runs)
-        .filter_map(|r| metric(&sim.run(mix(seed, u64::from(r)))))
-        .collect();
+    // Independent runs fan out across threads; each derives its stream
+    // from (seed, run index) alone and results fold in index order, so the
+    // summary is bitwise identical to the sequential loop.
+    let vals: Summary = pbbf_parallel::par_run(effort.runs as usize, |r| {
+        metric(&sim.run(mix(seed, r as u64)))
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     (!vals.is_empty()).then(|| ConfidenceInterval::from_summary(&vals, 0.95))
 }
 
@@ -48,7 +54,7 @@ fn run_point(
 fn q_sweep(
     effort: &Effort,
     seed: u64,
-    metric: impl Fn(&NetRunStats) -> Option<f64>,
+    metric: impl Fn(&NetRunStats) -> Option<f64> + Sync,
 ) -> Vec<Series> {
     let qs = effort.q_values();
     let cfg = net_config(effort, NetConfig::table2().delta);
@@ -84,7 +90,7 @@ fn q_sweep(
 fn delta_sweep(
     effort: &Effort,
     seed: u64,
-    metric: impl Fn(&NetRunStats) -> Option<f64>,
+    metric: impl Fn(&NetRunStats) -> Option<f64> + Sync,
 ) -> Vec<Series> {
     let mut series = Vec::new();
     let p_values = [0.05, 0.1, 0.25];
@@ -238,7 +244,10 @@ mod tests {
         let psm = f.series_named("PSM").unwrap();
         let lo = psm.y_at(8.0).unwrap();
         let hi = psm.y_at(18.0).unwrap();
-        assert!(hi < lo * 1.2, "denser networks have fewer hops: {lo} -> {hi}");
+        assert!(
+            hi < lo * 1.2,
+            "denser networks have fewer hops: {lo} -> {hi}"
+        );
         let nopsm = f.series_named("NO PSM").unwrap();
         assert!(nopsm.y_at(10.0).unwrap() < psm.y_at(10.0).unwrap());
     }

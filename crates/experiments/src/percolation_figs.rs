@@ -2,7 +2,7 @@
 
 use pbbf_des::SimRng;
 use pbbf_metrics::{Figure, Series};
-use pbbf_percolation::{critical_bond_ratio, min_q_for_reliability};
+use pbbf_percolation::{critical_bond_ratio_par, min_q_for_reliability};
 use pbbf_topology::Grid;
 
 use crate::Effort;
@@ -24,14 +24,11 @@ pub fn fig06(effort: &Effort, seed: u64) -> Figure {
     for &side in &FIG6_GRID_SIDES {
         let grid = Grid::square(side);
         for (si, &rel) in RELIABILITY_LEVELS.iter().enumerate() {
-            let mut rng = SimRng::new(seed).substream(u64::from(side) << 8 | si as u64);
-            let c = critical_bond_ratio(
-                grid.topology(),
-                grid.center(),
-                rel,
-                effort.nz_runs,
-                &mut rng,
-            );
+            // Newman–Ziff sweeps fan out across threads; each sweep draws
+            // an independent substream of this per-cell base stream.
+            let base = SimRng::new(seed).substream(u64::from(side) << 8 | si as u64);
+            let c =
+                critical_bond_ratio_par(grid.topology(), grid.center(), rel, effort.nz_runs, &base);
             series[si].push(f64::from(side), c);
         }
     }
@@ -53,9 +50,9 @@ pub fn fig07(effort: &Effort, seed: u64) -> Figure {
         .iter()
         .enumerate()
         .map(|(si, &rel)| {
-            let mut rng = SimRng::new(seed).substream(si as u64);
+            let base = SimRng::new(seed).substream(si as u64);
             let critical =
-                critical_bond_ratio(grid.topology(), grid.center(), rel, effort.nz_runs, &mut rng);
+                critical_bond_ratio_par(grid.topology(), grid.center(), rel, effort.nz_runs, &base);
             let mut s = Series::new(format!("{:.0}% Reliability", rel * 100.0));
             for &p in &p_values {
                 let q = min_q_for_reliability(p, critical).expect("critical <= 1");

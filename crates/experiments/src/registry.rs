@@ -62,8 +62,8 @@ impl Experiment {
     pub fn all() -> Vec<Experiment> {
         use Experiment::*;
         vec![
-            Table1, Table2, Fig04, Fig05, Fig06, Fig07, Fig08, Fig09, Fig10, Fig11, Fig12,
-            Fig13, Fig14, Fig15, Fig16, Fig17, Fig18,
+            Table1, Table2, Fig04, Fig05, Fig06, Fig07, Fig08, Fig09, Fig10, Fig11, Fig12, Fig13,
+            Fig14, Fig15, Fig16, Fig17, Fig18,
         ]
     }
 

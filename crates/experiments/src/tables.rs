@@ -19,7 +19,10 @@ pub fn table1() -> Table {
     t.row(["lambda".to_string(), format!("{} packets/s", a.lambda)]);
     t.row(["L1".to_string(), format!("~{} s", a.l1)]);
     t.row(["T_frame".to_string(), format!("{} s", a.schedule.t_frame())]);
-    t.row(["T_active".to_string(), format!("{} s", a.schedule.t_active())]);
+    t.row([
+        "T_active".to_string(),
+        format!("{} s", a.schedule.t_active()),
+    ]);
     t
 }
 
@@ -37,7 +40,10 @@ pub fn table2() -> Table {
     ]);
     t.row(["Data Packet Payload".to_string(), "30 bytes".to_string()]);
     t.row(["k".to_string(), format!("{}", c.k)]);
-    t.row(["Bit rate".to_string(), format!("{} kbps", f64::from(c.phy.bitrate_bps) / 1000.0)]);
+    t.row([
+        "Bit rate".to_string(),
+        format!("{} kbps", f64::from(c.phy.bitrate_bps) / 1000.0),
+    ]);
     t
 }
 

@@ -20,8 +20,13 @@ pub fn fig12(effort: &Effort, seed: u64) -> Figure {
     let params = AnalysisParams::table1();
     let grid = Grid::square(30);
     let mut rng = SimRng::new(seed);
-    let critical =
-        critical_bond_ratio(grid.topology(), grid.center(), 0.99, effort.nz_runs, &mut rng);
+    let critical = critical_bond_ratio(
+        grid.topology(),
+        grid.center(),
+        0.99,
+        effort.nz_runs,
+        &mut rng,
+    );
 
     // p below (1 - critical) needs no q and pins latency at its p-specific
     // value; the interesting frontier is p from just below the threshold

@@ -31,7 +31,9 @@ impl Mode {
             Mode::AlwaysOn => "NO PSM".to_string(),
             Mode::SleepScheduled(p) if *p == PbbfParams::PSM => "PSM".to_string(),
             Mode::SleepScheduled(p) => format!("PBBF-{}", p.p()),
-            Mode::Gossip { forward_probability } => format!("GOSSIP-{forward_probability}"),
+            Mode::Gossip {
+                forward_probability,
+            } => format!("GOSSIP-{forward_probability}"),
         }
     }
 }
@@ -99,7 +101,10 @@ mod tests {
         let pbbf = Mode::SleepScheduled(PbbfParams::new(0.5, 0.25).unwrap());
         assert_eq!(pbbf.label(), "PBBF-0.5");
         assert_eq!(
-            Mode::Gossip { forward_probability: 0.7 }.label(),
+            Mode::Gossip {
+                forward_probability: 0.7
+            }
+            .label(),
             "GOSSIP-0.7"
         );
     }

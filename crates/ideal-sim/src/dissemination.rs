@@ -178,7 +178,13 @@ pub(crate) fn disseminate(
             // The forwarder is awake from its reception through its
             // transmission.
             awake_until[node.index()] = awake_until[node.index()].max(t_rx);
-            note_activity(&mut act_start, &mut act_end, node.index(), t_tx - setup.l1, t_rx);
+            note_activity(
+                &mut act_start,
+                &mut act_end,
+                node.index(),
+                t_tx - setup.l1,
+                t_rx,
+            );
             for &nb in topology.neighbors(node) {
                 if awake_until[nb.index()] < t_tx {
                     continue; // asleep: the bond is closed for this copy
@@ -211,12 +217,7 @@ pub(crate) fn disseminate(
         if frame < setup.billing_frames {
             // Baseline duty-cycle share billed to this update.
             for &c in &coin {
-                energy += idle * t_active
-                    + if c {
-                        idle * t_sleep
-                    } else {
-                        sleep * t_sleep
-                    };
+                energy += idle * t_active + if c { idle * t_sleep } else { sleep * t_sleep };
             }
         }
         // Marginal activity: awake time the update caused beyond what the
@@ -250,9 +251,8 @@ pub(crate) fn disseminate(
     }
 
     // Transmission surcharge over idle listening.
-    energy += (setup.power.tx - setup.power.idle)
-        * setup.t_packet
-        * (immediate_tx + normal_tx) as f64;
+    energy +=
+        (setup.power.tx - setup.power.idle) * setup.t_packet * (immediate_tx + normal_tx) as f64;
 
     Dissemination {
         received,

@@ -83,9 +83,9 @@ impl IdealSim {
                 let mut rng = root.substream(u64::from(u));
                 match self.mode {
                     Mode::AlwaysOn => self.run_always_on(),
-                    Mode::Gossip { forward_probability } => {
-                        self.run_gossip(forward_probability, &mut rng)
-                    }
+                    Mode::Gossip {
+                        forward_probability,
+                    } => self.run_gossip(forward_probability, &mut rng),
                     Mode::SleepScheduled(params) => {
                         let a = &self.config.analysis;
                         let billing_frames =
@@ -128,7 +128,10 @@ impl IdealSim {
     /// paper's Section 2 contrasts with PBBF's bond percolation. The
     /// source always transmits.
     fn run_gossip(&self, g: f64, rng: &mut SimRng) -> UpdateStats {
-        assert!((0.0..=1.0).contains(&g), "forward probability {g} outside [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&g),
+            "forward probability {g} outside [0, 1]"
+        );
         let topo = self.grid.topology();
         let a = &self.config.analysis;
         let per_hop = a.l1 + self.config.t_packet;
@@ -230,8 +233,7 @@ mod tests {
         let sim = IdealSim::new(cfg, Mode::SleepScheduled(PbbfParams::PSM));
         let stats = sim.run(2);
         let a = cfg.analysis;
-        let first_hop =
-            a.schedule.t_active() + a.l1 + cfg.t_packet - 0.5 * a.schedule.t_active();
+        let first_hop = a.schedule.t_active() + a.l1 + cfg.t_packet - 0.5 * a.schedule.t_active();
         let u = &stats.updates[0];
         for (i, r) in u.received.iter().enumerate() {
             let (latency, hops) = r.unwrap();
@@ -298,10 +300,7 @@ mod tests {
         let cfg = small_config(15, 3);
         let mut means = Vec::new();
         for (p, q) in [(0.25, 0.2), (0.75, 0.2), (0.25, 0.8), (0.75, 0.8)] {
-            let sim = IdealSim::new(
-                cfg,
-                Mode::SleepScheduled(PbbfParams::new(p, q).unwrap()),
-            );
+            let sim = IdealSim::new(cfg, Mode::SleepScheduled(PbbfParams::new(p, q).unwrap()));
             let stats = sim.run(6);
             means.push(stats.mean_energy_per_update());
         }
@@ -376,7 +375,10 @@ mod tests {
         );
         let stats = sim.run(11);
         let total_deferred: u64 = stats.updates.iter().map(|u| u.deferred_immediates).sum();
-        assert!(total_deferred > 0, "long grids must overflow the data phase");
+        assert!(
+            total_deferred > 0,
+            "long grids must overflow the data phase"
+        );
         // Everything still arrives (p_edge = 1).
         assert!((stats.mean_delivered_fraction() - 1.0).abs() < 1e-12);
     }
@@ -387,21 +389,44 @@ mod tests {
         // gossip at g = 0.3 dies near the source; g = 0.9 blankets the
         // grid (bimodal behavior of the paper's [5]).
         let cfg = small_config(21, 4);
-        let low = IdealSim::new(cfg, Mode::Gossip { forward_probability: 0.3 });
-        let high = IdealSim::new(cfg, Mode::Gossip { forward_probability: 0.9 });
+        let low = IdealSim::new(
+            cfg,
+            Mode::Gossip {
+                forward_probability: 0.3,
+            },
+        );
+        let high = IdealSim::new(
+            cfg,
+            Mode::Gossip {
+                forward_probability: 0.9,
+            },
+        );
         let frac_low = low.run(13).mean_delivered_fraction();
         let frac_high = high.run(13).mean_delivered_fraction();
         assert!(frac_low < 0.4, "subcritical gossip dies: {frac_low}");
-        assert!(frac_high > 0.9, "supercritical gossip blankets: {frac_high}");
+        assert!(
+            frac_high > 0.9,
+            "supercritical gossip blankets: {frac_high}"
+        );
     }
 
     #[test]
     fn gossip_at_one_equals_flooding() {
         let cfg = small_config(11, 2);
-        let gossip = IdealSim::new(cfg, Mode::Gossip { forward_probability: 1.0 }).run(14);
+        let gossip = IdealSim::new(
+            cfg,
+            Mode::Gossip {
+                forward_probability: 1.0,
+            },
+        )
+        .run(14);
         let flood = IdealSim::new(cfg, Mode::AlwaysOn).run(14);
         assert!((gossip.mean_delivered_fraction() - 1.0).abs() < 1e-12);
-        for (g, f) in gossip.updates[0].received.iter().zip(&flood.updates[0].received) {
+        for (g, f) in gossip.updates[0]
+            .received
+            .iter()
+            .zip(&flood.updates[0].received)
+        {
             assert_eq!(g.unwrap().1, f.unwrap().1, "same hop counts as flooding");
         }
     }

@@ -138,11 +138,15 @@ mod tests {
         let p = BackoffPolicy::mica2();
         let a: Vec<u64> = {
             let mut rng = SimRng::new(9);
-            (0..10).map(|_| p.data_backoff(&mut rng).as_nanos()).collect()
+            (0..10)
+                .map(|_| p.data_backoff(&mut rng).as_nanos())
+                .collect()
         };
         let b: Vec<u64> = {
             let mut rng = SimRng::new(9);
-            (0..10).map(|_| p.data_backoff(&mut rng).as_nanos()).collect()
+            (0..10)
+                .map(|_| p.data_backoff(&mut rng).as_nanos())
+                .collect()
         };
         assert_eq!(a, b);
     }

@@ -135,8 +135,8 @@ impl Histogram {
         for (i, &c) in self.bins.iter().enumerate() {
             let next = cum + c as f64;
             if next >= target && c > 0 {
-                let within = if c == 0 { 0.0 } else { (target - cum) / c as f64 };
-                return self.bin_lo(i) + within.clamp(0.0, 1.0) * (self.bin_hi(i) - self.bin_lo(i));
+                let within = ((target - cum) / c as f64).clamp(0.0, 1.0);
+                return self.bin_lo(i) + within * (self.bin_hi(i) - self.bin_lo(i));
             }
             cum = next;
         }
@@ -157,7 +157,11 @@ impl Histogram {
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.lo, other.lo, "histogram lower bounds differ");
         assert_eq!(self.hi, other.hi, "histogram upper bounds differ");
-        assert_eq!(self.bins.len(), other.bins.len(), "histogram bin counts differ");
+        assert_eq!(
+            self.bins.len(),
+            other.bins.len(),
+            "histogram bin counts differ"
+        );
         for (a, b) in self.bins.iter_mut().zip(&other.bins) {
             *a += b;
         }

@@ -22,7 +22,10 @@ impl Figure {
     /// Panics if `width` or `height` is smaller than 8 (no usable canvas).
     #[must_use]
     pub fn render_ascii_plot(&self, width: usize, height: usize) -> String {
-        assert!(width >= 8 && height >= 8, "canvas too small: {width}x{height}");
+        assert!(
+            width >= 8 && height >= 8,
+            "canvas too small: {width}x{height}"
+        );
         let pts: Vec<(f64, f64)> = self
             .series
             .iter()

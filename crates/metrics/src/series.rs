@@ -101,7 +101,11 @@ impl Series {
         for w in pts.windows(2) {
             let (a, b) = (w[0], w[1]);
             if x >= a.x && x <= b.x {
-                let t = if b.x > a.x { (x - a.x) / (b.x - a.x) } else { 0.0 };
+                let t = if b.x > a.x {
+                    (x - a.x) / (b.x - a.x)
+                } else {
+                    0.0
+                };
                 return Some(a.y + t * (b.y - a.y));
             }
         }

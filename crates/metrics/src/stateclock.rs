@@ -27,33 +27,42 @@ use serde::{Deserialize, Serialize};
 /// let d = clock.durations_at(5.0);
 /// assert_eq!(d, [2.0, 3.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StateClock<const N: usize> {
-    #[serde(with = "serde_arrays")]
     durations: [f64; N],
     state: usize,
     since: f64,
 }
 
-// serde does not implement Serialize/Deserialize for [f64; N] with const
-// generics on all versions; provide a tiny shim over Vec.
-mod serde_arrays {
-    use serde::de::Error;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    pub fn serialize<S: Serializer, const N: usize>(
-        value: &[f64; N],
-        ser: S,
-    ) -> Result<S::Ok, S::Error> {
-        value.as_slice().serialize(ser)
+// The serde derive does not support const generics; implement the traits
+// by hand, serializing the duration array as a plain JSON array.
+impl<const N: usize> Serialize for StateClock<N> {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(serde::Json::Obj(vec![
+            (
+                "durations".to_string(),
+                serde::to_value(self.durations.as_slice()),
+            ),
+            ("state".to_string(), serde::to_value(&self.state)),
+            ("since".to_string(), serde::to_value(&self.since)),
+        ]))
     }
+}
 
-    pub fn deserialize<'de, D: Deserializer<'de>, const N: usize>(
-        de: D,
-    ) -> Result<[f64; N], D::Error> {
-        let v = Vec::<f64>::deserialize(de)?;
-        v.try_into()
-            .map_err(|v: Vec<f64>| D::Error::custom(format!("expected {N} states, got {}", v.len())))
+impl<'de, const N: usize> Deserialize<'de> for StateClock<N> {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::Error as _;
+        let mut obj = serde::ObjAccess::new(deserializer.take_value()?, "StateClock")
+            .map_err(D::Error::custom)?;
+        let durations: Vec<f64> = obj.field("durations").map_err(D::Error::custom)?;
+        let durations: [f64; N] = durations.try_into().map_err(|v: Vec<f64>| {
+            D::Error::custom(format!("expected {N} states, got {}", v.len()))
+        })?;
+        Ok(Self {
+            durations,
+            state: obj.field("state").map_err(D::Error::custom)?,
+            since: obj.field("since").map_err(D::Error::custom)?,
+        })
     }
 }
 

@@ -228,7 +228,9 @@ mod tests {
 
     #[test]
     fn known_mean_and_variance() {
-        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert!(close(s.mean(), 5.0));
         assert!(close(s.population_variance(), 4.0));
         assert!(close(s.sample_variance(), 32.0 / 7.0));

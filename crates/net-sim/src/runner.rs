@@ -377,7 +377,8 @@ impl Runner {
                 let from = if blocked_by_window {
                     self.timing.earliest_data_time(now)
                 } else {
-                    self.timing.earliest_data_time(self.timing.next_frame_start(now))
+                    self.timing
+                        .earliest_data_time(self.timing.next_frame_start(now))
                 };
                 let at = self.backoff.next_data_attempt(from, &mut self.nodes[i].rng);
                 self.queue.schedule(at, Ev::DataAttempt(i as u32, intent));
@@ -507,7 +508,11 @@ mod tests {
         let sim = NetSim::new(cfg(300.0), NetMode::SleepScheduled(PbbfParams::PSM));
         let s = sim.run(1);
         assert_eq!(s.updates_generated(), 3);
-        assert!(s.mean_delivery_ratio() > 0.9, "ratio {}", s.mean_delivery_ratio());
+        assert!(
+            s.mean_delivery_ratio() > 0.9,
+            "ratio {}",
+            s.mean_delivery_ratio()
+        );
         assert_eq!(s.immediate_tx, 0, "PSM never sends immediately");
         assert!(s.atim_tx > 0, "PSM announces every broadcast");
     }
@@ -516,7 +521,11 @@ mod tests {
     fn always_on_is_fast_and_reliable() {
         let sim = NetSim::new(cfg(300.0), NetMode::AlwaysOn);
         let s = sim.run(2);
-        assert!(s.mean_delivery_ratio() > 0.9, "ratio {}", s.mean_delivery_ratio());
+        assert!(
+            s.mean_delivery_ratio() > 0.9,
+            "ratio {}",
+            s.mean_delivery_ratio()
+        );
         assert_eq!(s.atim_tx, 0, "no PSM structure");
         // Latency well under one beacon interval at every hop count.
         let l2 = s.mean_latency_at_hops(2);
@@ -535,7 +544,10 @@ mod tests {
         // the second waits for the next interval.
         assert!(l1 < 6.0, "1-hop {l1}");
         assert!((6.0..20.0).contains(&l2), "2-hop {l2}");
-        assert!(l2 > l1 + 5.0, "each extra hop costs about a beacon interval");
+        assert!(
+            l2 > l1 + 5.0,
+            "each extra hop costs about a beacon interval"
+        );
     }
 
     #[test]
@@ -543,10 +555,17 @@ mod tests {
         let psm = NetSim::new(cfg(300.0), NetMode::SleepScheduled(PbbfParams::PSM))
             .run(4)
             .energy_per_update();
-        let pbbf_mid = NetSim::new(cfg(300.0), pbbf(0.25, 0.5)).run(4).energy_per_update();
-        let no_psm = NetSim::new(cfg(300.0), NetMode::AlwaysOn).run(4).energy_per_update();
+        let pbbf_mid = NetSim::new(cfg(300.0), pbbf(0.25, 0.5))
+            .run(4)
+            .energy_per_update();
+        let no_psm = NetSim::new(cfg(300.0), NetMode::AlwaysOn)
+            .run(4)
+            .energy_per_update();
         assert!(psm < pbbf_mid, "PSM {psm} < PBBF(q=0.5) {pbbf_mid}");
-        assert!(pbbf_mid < no_psm, "PBBF(q=0.5) {pbbf_mid} < NO PSM {no_psm}");
+        assert!(
+            pbbf_mid < no_psm,
+            "PBBF(q=0.5) {pbbf_mid} < NO PSM {no_psm}"
+        );
         // Fig. 13 scale: PSM saves about 2+ J/update over NO PSM.
         assert!(no_psm - psm > 1.5, "saving {}", no_psm - psm);
     }
@@ -554,10 +573,16 @@ mod tests {
     #[test]
     fn energy_grows_with_q_not_p() {
         let base = cfg(300.0);
-        let e_low = NetSim::new(base, pbbf(0.25, 0.1)).run(5).energy_per_update();
-        let e_high = NetSim::new(base, pbbf(0.25, 0.9)).run(5).energy_per_update();
+        let e_low = NetSim::new(base, pbbf(0.25, 0.1))
+            .run(5)
+            .energy_per_update();
+        let e_high = NetSim::new(base, pbbf(0.25, 0.9))
+            .run(5)
+            .energy_per_update();
         assert!(e_high > e_low * 1.5, "q drives energy: {e_low} -> {e_high}");
-        let e_p1 = NetSim::new(base, pbbf(0.05, 0.5)).run(6).energy_per_update();
+        let e_p1 = NetSim::new(base, pbbf(0.05, 0.5))
+            .run(6)
+            .energy_per_update();
         let e_p2 = NetSim::new(base, pbbf(0.5, 0.5)).run(6).energy_per_update();
         let rel = (e_p1 - e_p2).abs() / e_p1;
         assert!(rel < 0.15, "p barely affects energy: {e_p1} vs {e_p2}");
@@ -565,8 +590,12 @@ mod tests {
 
     #[test]
     fn high_p_low_q_degrades_reliability() {
-        let good = NetSim::new(cfg(300.0), pbbf(0.5, 0.9)).run(7).mean_delivery_ratio();
-        let bad = NetSim::new(cfg(300.0), pbbf(0.5, 0.05)).run(7).mean_delivery_ratio();
+        let good = NetSim::new(cfg(300.0), pbbf(0.5, 0.9))
+            .run(7)
+            .mean_delivery_ratio();
+        let bad = NetSim::new(cfg(300.0), pbbf(0.5, 0.05))
+            .run(7)
+            .mean_delivery_ratio();
         assert!(bad < good, "q rescues reliability: {bad} !< {good}");
     }
 
@@ -588,7 +617,10 @@ mod tests {
         // Start from conservative parameters; the busy code-distribution
         // channel should pull p up, and full delivery should keep q low.
         let initial = PbbfParams::new(0.1, 0.3).unwrap();
-        let sim = NetSim::new(cfg(400.0), NetMode::Adaptive(AdaptiveConfig::default_for(initial)));
+        let sim = NetSim::new(
+            cfg(400.0),
+            NetMode::Adaptive(AdaptiveConfig::default_for(initial)),
+        );
         let s = sim.run(11);
         assert!(!s.adaptive_trace.is_empty(), "trace recorded every beacon");
         // Parameters moved away from the initial point.
@@ -598,7 +630,11 @@ mod tests {
             "controller must react: trace ends at ({p_last}, {q_last})"
         );
         // Adaptation must not wreck delivery.
-        assert!(s.mean_delivery_ratio() > 0.6, "ratio {}", s.mean_delivery_ratio());
+        assert!(
+            s.mean_delivery_ratio() > 0.6,
+            "ratio {}",
+            s.mean_delivery_ratio()
+        );
         // Static modes record no trace.
         let st = NetSim::new(cfg(200.0), NetMode::SleepScheduled(initial)).run(11);
         assert!(st.adaptive_trace.is_empty());

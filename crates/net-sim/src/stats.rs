@@ -61,11 +61,7 @@ impl NetRunStats {
             if node == self.source.index() {
                 continue;
             }
-            let got = self
-                .receptions
-                .iter()
-                .filter(|r| r[node].is_some())
-                .count();
+            let got = self.receptions.iter().filter(|r| r[node].is_some()).count();
             s.record(got as f64 / f64::from(updates));
         }
         s.mean()

@@ -134,8 +134,7 @@ mod tests {
         }
         // Higher critical probability (higher reliability) needs higher q.
         assert!(
-            min_q_for_reliability(0.75, 0.70).unwrap()
-                > min_q_for_reliability(0.75, 0.55).unwrap()
+            min_q_for_reliability(0.75, 0.70).unwrap() > min_q_for_reliability(0.75, 0.55).unwrap()
         );
     }
 

@@ -30,5 +30,7 @@ mod newman_ziff;
 mod union_find;
 
 pub use boundary::{min_q_for_reliability, pq_boundary, reliability_edge_probability};
-pub use newman_ziff::{critical_bond_ratio, BondSweep, NewmanZiff, SweepStats};
+pub use newman_ziff::{
+    critical_bond_ratio, critical_bond_ratio_par, BondSweep, NewmanZiff, SweepStats,
+};
 pub use union_find::UnionFind;

@@ -117,7 +117,10 @@ impl<'a> NewmanZiff<'a> {
     /// Panics if `target` is not in `(0, 1]`.
     #[must_use]
     pub fn bond_crossing(&self, target: f64, rng: &mut impl RngCore) -> Option<f64> {
-        assert!(target > 0.0 && target <= 1.0, "target {target} outside (0, 1]");
+        assert!(
+            target > 0.0 && target <= 1.0,
+            "target {target} outside (0, 1]"
+        );
         let sweep = self.bond_sweep(rng);
         let m = self.edges.len() as f64;
         sweep
@@ -162,9 +165,7 @@ impl<'a> NewmanZiff<'a> {
     #[must_use]
     pub fn site_sweep(&self, rng: &mut impl RngCore) -> Vec<f64> {
         let n = self.topology.len();
-        let mut order: Vec<u32> = (0..n as u32)
-            .filter(|&i| i != self.source.0)
-            .collect();
+        let mut order: Vec<u32> = (0..n as u32).filter(|&i| i != self.source.0).collect();
         shuffle(&mut order, rng);
 
         let mut occupied = vec![false; n];
@@ -195,7 +196,10 @@ impl SweepStats {
     /// Panics if `p_edge` is outside `[0, 1]`.
     #[must_use]
     pub fn canonical_reliability(&self, p_edge: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p_edge), "p_edge {p_edge} outside [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p_edge),
+            "p_edge {p_edge} outside [0, 1]"
+        );
         let m = self.mean_source_fraction.len() - 1;
         let pmf = binomial_pmf(m, p_edge);
         pmf.iter()
@@ -257,7 +261,51 @@ pub fn critical_bond_ratio(
             hit += 1;
         }
     }
-    assert!(hit > 0, "target reliability never reached; disconnected topology?");
+    assert!(
+        hit > 0,
+        "target reliability never reached; disconnected topology?"
+    );
+    sum / f64::from(hit)
+}
+
+/// Parallel [`critical_bond_ratio`]: sweeps fan out across threads, each
+/// drawing its randomness from `base.substream(sweep_index)`.
+///
+/// Because every sweep's stream depends only on `(base seed, index)` and
+/// results are averaged in index order, the estimate is bit-for-bit
+/// identical for any thread count (including the sequential
+/// `PBBF_THREADS=1` path). Note the *stream layout* differs from the
+/// shared-`&mut rng` sequential API above, so the two functions give
+/// different (equally valid) Monte Carlo estimates for the same seed.
+///
+/// # Panics
+///
+/// Panics if `target_reliability` is not in `(0, 1]`, `runs == 0`, or the
+/// target is never reached (disconnected topology).
+#[must_use]
+pub fn critical_bond_ratio_par(
+    topology: &Topology,
+    source: NodeId,
+    target_reliability: f64,
+    runs: u32,
+    base: &pbbf_des::SimRng,
+) -> f64 {
+    assert!(runs > 0, "need at least one run");
+    let nz = NewmanZiff::new(topology, source);
+    let crossings = pbbf_parallel::par_run(runs as usize, |sweep| {
+        let mut rng = base.substream(sweep as u64);
+        nz.bond_crossing(target_reliability, &mut rng)
+    });
+    let mut sum = 0.0;
+    let mut hit = 0u32;
+    for c in crossings.into_iter().flatten() {
+        sum += c;
+        hit += 1;
+    }
+    assert!(
+        hit > 0,
+        "target reliability never reached; disconnected topology?"
+    );
     sum / f64::from(hit)
 }
 
@@ -427,6 +475,19 @@ mod tests {
         for w in sweep.windows(2) {
             assert!(w[1] >= w[0]);
         }
+    }
+
+    #[test]
+    fn parallel_critical_ratio_is_deterministic_and_plausible() {
+        let grid = Grid::square(20);
+        let base = SimRng::new(21);
+        let a = critical_bond_ratio_par(grid.topology(), grid.center(), 0.9, 40, &base);
+        let b = critical_bond_ratio_par(grid.topology(), grid.center(), 0.9, 40, &base);
+        assert_eq!(a, b, "same base stream, same estimate");
+        assert!((0.4..0.75).contains(&a), "critical ratio {a}");
+        // More reliability still needs more bonds under the parallel path.
+        let c99 = critical_bond_ratio_par(grid.topology(), grid.center(), 0.99, 40, &base);
+        assert!(a < c99, "{a} !< {c99}");
     }
 
     #[test]

@@ -209,7 +209,14 @@ mod tests {
         let e0 = ch.begin_tx(t(0.0), Frame::beacon(NodeId(0)), d(0.02));
         let e2 = ch.begin_tx(t(0.01), Frame::beacon(NodeId(2)), d(0.02));
         let (_, d0) = ch.end_tx(e0, NodeId(0));
-        assert_eq!(d0, vec![Delivery { receiver: NodeId(1), clean: false, started: t(0.0) }]);
+        assert_eq!(
+            d0,
+            vec![Delivery {
+                receiver: NodeId(1),
+                clean: false,
+                started: t(0.0)
+            }]
+        );
         let (_, d2) = ch.end_tx(e2, NodeId(2));
         assert!(!d2[0].clean, "hidden-terminal collision at node 1");
     }

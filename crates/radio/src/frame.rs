@@ -155,7 +155,9 @@ mod tests {
     fn constructors_fill_kind() {
         let d = Frame::data(NodeId(3), vec![9], true);
         assert_eq!(d.src, NodeId(3));
-        assert!(matches!(d.kind, FrameKind::Data { ref updates, immediate: true } if updates == &[9]));
+        assert!(
+            matches!(d.kind, FrameKind::Data { ref updates, immediate: true } if updates == &[9])
+        );
         let a = Frame::atim(NodeId(1), vec![2, 3]);
         assert!(matches!(a.kind, FrameKind::Atim { ref announced } if announced.len() == 2));
         assert!(matches!(Frame::beacon(NodeId(0)).kind, FrameKind::Beacon));

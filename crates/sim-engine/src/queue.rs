@@ -1,17 +1,42 @@
 //! Stable, cancellable event queue.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 use crate::SimTime;
 
 /// Identifies a scheduled event so it can be cancelled.
 ///
-/// Handles are unique for the lifetime of the queue (a `u64` sequence
-/// number); cancelling an already-fired or already-cancelled event is a
-/// harmless no-op that returns `false`.
+/// Carries a slot index and its generation stamp; handles stay valid (as
+/// harmless no-ops) after the event fires or is cancelled — a stale handle
+/// never aliases a newer event because slot reuse bumps the generation,
+/// and the 64-bit stamp cannot plausibly wrap within a queue's lifetime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EventHandle(u64);
+pub struct EventHandle {
+    slot: u32,
+    generation: u64,
+}
+
+impl EventHandle {
+    fn new(slot: u32, generation: u64) -> Self {
+        Self { slot, generation }
+    }
+
+    fn slot(self) -> usize {
+        self.slot as usize
+    }
+
+    fn generation(self) -> u64 {
+        self.generation
+    }
+}
+
+/// Liveness bookkeeping for one scheduled event.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    generation: u64,
+    live: bool,
+}
 
 /// Min-heap of timestamped events with stable FIFO tie-breaking.
 ///
@@ -21,8 +46,15 @@ pub struct EventHandle(u64);
 ///    order they were scheduled. A plain `BinaryHeap` does not guarantee
 ///    this, so entries carry a monotonically increasing sequence number.
 /// 2. **Cancellation** — MAC protocols constantly set and cancel timers
-///    (backoff suspension, ATIM timeouts). Cancellation is implemented as a
-///    tombstone set consulted lazily on pop, keeping scheduling O(log n).
+///    (backoff suspension, ATIM timeouts). Cancellation marks a
+///    generation-stamped slot dead and is resolved lazily on pop/peek.
+///
+/// Liveness lives in a flat slot vector recycled through a free list:
+/// schedule, cancel, and pop are array indexing — no hashing, and no
+/// allocation beyond the heap's and slot vector's amortized growth. (The
+/// seed implementation kept a `HashSet<u64>` of live sequence numbers,
+/// which put a hash probe on every queue operation of the simulator's
+/// innermost loop.)
 ///
 /// # Examples
 ///
@@ -41,10 +73,12 @@ pub struct EventHandle(u64);
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry_<E>>,
     next_seq: u64,
-    /// Sequence numbers of scheduled-but-not-yet-fired-or-cancelled events.
-    /// Heap entries whose seq is absent here were cancelled and are skipped
-    /// lazily on pop/peek.
-    live: HashSet<u64>,
+    /// One entry per allocated slot. A slot with an outstanding heap entry
+    /// is never on the free list, so at most one heap entry references any
+    /// (slot, generation) pair.
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live_count: usize,
     now: SimTime,
 }
 
@@ -52,6 +86,7 @@ pub struct EventQueue<E> {
 struct Entry_<E> {
     time: SimTime,
     seq: u64,
+    handle: EventHandle,
     event: E,
 }
 
@@ -87,7 +122,9 @@ impl<E> EventQueue<E> {
         Self {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            live: HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live_count: 0,
             now: SimTime::ZERO,
         }
     }
@@ -101,13 +138,13 @@ impl<E> EventQueue<E> {
     /// Number of live (non-cancelled) events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.live.len()
+        self.live_count
     }
 
     /// Whether no live events remain.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.live.is_empty()
+        self.live_count == 0
     }
 
     /// Schedules `event` at absolute time `at` and returns its handle.
@@ -124,27 +161,68 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("slot index overflow");
+                self.slots.push(Slot {
+                    generation: 0,
+                    live: false,
+                });
+                slot
+            }
+        };
+        self.slots[slot as usize].live = true;
+        self.live_count += 1;
+        let handle = EventHandle::new(slot, self.slots[slot as usize].generation);
         self.heap.push(Entry_ {
             time: at,
             seq,
+            handle,
             event,
         });
-        self.live.insert(seq);
-        EventHandle(seq)
+        handle
+    }
+
+    /// Whether `handle`'s event is still pending.
+    fn is_live(&self, handle: EventHandle) -> bool {
+        self.slots
+            .get(handle.slot())
+            .is_some_and(|s| s.live && s.generation == handle.generation())
+    }
+
+    /// Retires a slot whose heap entry has been popped: bump the
+    /// generation (invalidating stale handles) and recycle the index.
+    fn retire(&mut self, handle: EventHandle) {
+        let slot = &mut self.slots[handle.slot()];
+        slot.generation = slot.generation.wrapping_add(1);
+        slot.live = false;
+        self.free.push(handle.slot() as u32);
     }
 
     /// Cancels a scheduled event. Returns `true` if the event was still
     /// pending, `false` if it had already fired or been cancelled.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        self.live.remove(&handle.0)
+        if !self.is_live(handle) {
+            return false;
+        }
+        // The heap entry remains and is skipped lazily on pop; the slot is
+        // recycled at that point, not here, so it cannot be reused while
+        // its entry is still queued.
+        self.slots[handle.slot()].live = false;
+        self.live_count -= 1;
+        true
     }
 
     /// Removes and returns the earliest live event, advancing the clock.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
-            if !self.live.remove(&entry.seq) {
+            let was_live = self.is_live(entry.handle);
+            self.retire(entry.handle);
+            if !was_live {
                 continue; // was cancelled
             }
+            self.live_count -= 1;
             debug_assert!(entry.time >= self.now, "heap returned past event");
             self.now = entry.time;
             return Some((entry.time, entry.event));
@@ -158,10 +236,11 @@ impl<E> EventQueue<E> {
         // Lazily purge cancelled entries from the top of the heap so the
         // answer reflects a live event.
         while let Some(entry) = self.heap.peek() {
-            if self.live.contains(&entry.seq) {
+            if self.is_live(entry.handle) {
                 return Some(entry.time);
             }
-            self.heap.pop();
+            let entry = self.heap.pop().expect("peeked entry exists");
+            self.retire(entry.handle);
         }
         None
     }
@@ -170,7 +249,13 @@ impl<E> EventQueue<E> {
     /// still hold for subsequent scheduling.
     pub fn clear(&mut self) {
         self.heap.clear();
-        self.live.clear();
+        self.free.clear();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            slot.generation = slot.generation.wrapping_add(1);
+            slot.live = false;
+            self.free.push(i as u32);
+        }
+        self.live_count = 0;
     }
 }
 
@@ -247,7 +332,35 @@ mod tests {
     #[test]
     fn cancel_unknown_handle_is_false() {
         let mut q: EventQueue<()> = EventQueue::new();
-        assert!(!q.cancel(EventHandle(99)));
+        assert!(!q.cancel(EventHandle::new(99, 0)));
+    }
+
+    #[test]
+    fn stale_handle_does_not_alias_recycled_slot() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule(SimTime::from_secs(1.0), 1);
+        q.pop().unwrap();
+        // Slot 0 is recycled for the next event with a bumped generation.
+        let h2 = q.schedule(SimTime::from_secs(2.0), 2);
+        assert_eq!(h1.slot(), h2.slot());
+        assert_ne!(h1.generation(), h2.generation());
+        assert!(!q.cancel(h1), "stale handle must not cancel the new event");
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn slots_are_recycled_not_grown() {
+        let mut q = EventQueue::new();
+        for round in 0..50 {
+            for i in 0..8 {
+                q.schedule(
+                    SimTime::from_secs(f64::from(round) + f64::from(i) * 0.01),
+                    i,
+                );
+            }
+            while q.pop().is_some() {}
+        }
+        assert!(q.slots.len() <= 8, "slot vector grew to {}", q.slots.len());
     }
 
     #[test]
@@ -282,11 +395,16 @@ mod tests {
     #[test]
     fn clear_empties_queue() {
         let mut q = EventQueue::new();
-        q.schedule(SimTime::from_secs(1.0), ());
+        let h = q.schedule(SimTime::from_secs(1.0), ());
         q.schedule(SimTime::from_secs(2.0), ());
         q.clear();
         assert!(q.is_empty());
         assert!(q.pop().is_none());
+        assert!(!q.cancel(h), "cleared events are gone");
+        // The queue remains fully usable after clear.
+        q.schedule(SimTime::from_secs(3.0), ());
+        assert_eq!(q.len(), 1);
+        assert!(q.pop().is_some());
     }
 
     #[test]

@@ -81,7 +81,10 @@ impl SimRng {
     /// tests.
     #[must_use]
     pub fn state_fingerprint(&self) -> u64 {
-        self.s[0] ^ self.s[1].rotate_left(16) ^ self.s[2].rotate_left(32) ^ self.s[3].rotate_left(48)
+        self.s[0]
+            ^ self.s[1].rotate_left(16)
+            ^ self.s[2].rotate_left(32)
+            ^ self.s[3].rotate_left(48)
     }
 
     /// Bernoulli draw: `true` with probability `p`.
@@ -110,7 +113,10 @@ impl SimRng {
     ///
     /// Panics if the range is empty or non-finite.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad range [{lo}, {hi})"
+        );
         lo + self.uniform01() * (hi - lo)
     }
 
@@ -321,7 +327,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left input unchanged"
+        );
     }
 
     #[test]

@@ -145,18 +145,17 @@ fn secs_to_nanos(secs: f64) -> u64 {
         "invalid time in seconds: {secs}"
     );
     let nanos = secs * NANOS_PER_SEC;
-    assert!(nanos <= u64::MAX as f64, "time overflows u64 nanoseconds: {secs} s");
+    assert!(
+        nanos <= u64::MAX as f64,
+        "time overflows u64 nanoseconds: {secs} s"
+    );
     nanos.round() as u64
 }
 
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(
-            self.0
-                .checked_add(rhs.0)
-                .expect("simulation time overflow"),
-        )
+        SimTime(self.0.checked_add(rhs.0).expect("simulation time overflow"))
     }
 }
 

@@ -33,11 +33,20 @@ impl std::fmt::Display for NodeId {
 /// [`RandomDeployment`](crate::RandomDeployment); consumed by the
 /// simulators (neighbor iteration) and by the percolation analysis (edge
 /// enumeration).
+///
+/// Adjacency is stored in CSR (compressed sparse row) form — one flat,
+/// sorted neighbor array indexed by per-node offsets — so iterating a
+/// node's neighbors is a contiguous slice scan with no pointer chasing,
+/// and the whole structure is two allocations regardless of node count.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Topology {
     positions: Vec<Point2>,
-    /// Sorted neighbor lists, symmetric: `b ∈ adj[a] ⇔ a ∈ adj[b]`.
-    adjacency: Vec<Vec<NodeId>>,
+    /// CSR row offsets: node `i`'s neighbors live at
+    /// `neighbors[offsets[i] .. offsets[i + 1]]`; length `n + 1`.
+    offsets: Vec<u32>,
+    /// All neighbor lists concatenated, sorted within each node's segment;
+    /// symmetric: `b ∈ neighbors(a) ⇔ a ∈ neighbors(b)`.
+    neighbors: Vec<NodeId>,
 }
 
 impl Topology {
@@ -53,22 +62,41 @@ impl Topology {
     #[must_use]
     pub fn from_edges(positions: Vec<Point2>, edges: &[(NodeId, NodeId)]) -> Self {
         let n = positions.len();
-        let mut adjacency = vec![Vec::new(); n];
+        assert!(n < u32::MAX as usize, "too many nodes for u32 ids");
+        // Two-pass CSR build: count degrees, prefix-sum into offsets, fill.
+        let mut offsets = vec![0u32; n + 1];
         for &(a, b) in edges {
-            assert!(a.index() < n && b.index() < n, "edge ({a}, {b}) out of range");
+            assert!(
+                a.index() < n && b.index() < n,
+                "edge ({a}, {b}) out of range"
+            );
             assert_ne!(a, b, "self-loop at {a}");
-            adjacency[a.index()].push(b);
-            adjacency[b.index()].push(a);
+            offsets[a.index() + 1] += 1;
+            offsets[b.index() + 1] += 1;
         }
-        for (i, list) in adjacency.iter_mut().enumerate() {
-            let before = list.len();
-            list.sort_unstable();
-            list.dedup();
-            assert_eq!(before, list.len(), "duplicate edge at node {i}");
+        for i in 1..=n {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut neighbors = vec![NodeId(0); offsets[n] as usize];
+        let mut cursor = offsets.clone();
+        for &(a, b) in edges {
+            neighbors[cursor[a.index()] as usize] = b;
+            cursor[a.index()] += 1;
+            neighbors[cursor[b.index()] as usize] = a;
+            cursor[b.index()] += 1;
+        }
+        for i in 0..n {
+            let segment = &mut neighbors[offsets[i] as usize..offsets[i + 1] as usize];
+            segment.sort_unstable();
+            assert!(
+                segment.windows(2).all(|w| w[0] != w[1]),
+                "duplicate edge at node {i}"
+            );
         }
         Self {
             positions,
-            adjacency,
+            offsets,
+            neighbors,
         }
     }
 
@@ -99,14 +127,16 @@ impl Topology {
         self.positions[node.index()]
     }
 
-    /// The sorted neighbors of `node`.
+    /// The sorted neighbors of `node` (a contiguous CSR slice).
     ///
     /// # Panics
     ///
     /// Panics if `node` is out of range.
     #[must_use]
     pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
-        &self.adjacency[node.index()]
+        let lo = self.offsets[node.index()] as usize;
+        let hi = self.offsets[node.index() + 1] as usize;
+        &self.neighbors[lo..hi]
     }
 
     /// The degree of `node`.
@@ -118,7 +148,7 @@ impl Topology {
     /// Number of undirected edges.
     #[must_use]
     pub fn edge_count(&self) -> usize {
-        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+        self.neighbors.len() / 2
     }
 
     /// All undirected edges, each reported once with `a < b`.
@@ -228,7 +258,10 @@ mod tests {
     fn edge_count_and_edges() {
         let t = path3_plus_isolated();
         assert_eq!(t.edge_count(), 2);
-        assert_eq!(t.edges(), vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]);
+        assert_eq!(
+            t.edges(),
+            vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]
+        );
     }
 
     #[test]
@@ -269,6 +302,18 @@ mod tests {
     }
 
     #[test]
+    fn csr_layout_is_compact_and_ordered() {
+        let t = path3_plus_isolated();
+        // Neighbor slices tile the flat array: total length = 2·edges, and
+        // concatenating per-node slices reproduces it exactly.
+        let concat: Vec<NodeId> = t.nodes().flat_map(|n| t.neighbors(n).to_vec()).collect();
+        assert_eq!(concat.len(), 2 * t.edge_count());
+        for n in t.nodes() {
+            assert!(t.neighbors(n).windows(2).all(|w| w[0] < w[1]), "sorted {n}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "self-loop")]
     fn self_loop_panics() {
         let pos = vec![Point2::new(0.0, 0.0)];
@@ -279,10 +324,7 @@ mod tests {
     #[should_panic(expected = "duplicate edge")]
     fn duplicate_edge_panics() {
         let pos = vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)];
-        let _ = Topology::from_edges(
-            pos,
-            &[(NodeId(0), NodeId(1)), (NodeId(1), NodeId(0))],
-        );
+        let _ = Topology::from_edges(pos, &[(NodeId(0), NodeId(1)), (NodeId(1), NodeId(0))]);
     }
 
     #[test]

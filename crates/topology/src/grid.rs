@@ -46,7 +46,10 @@ impl Grid {
     #[must_use]
     pub fn new(rows: u32, cols: u32, spacing: f64) -> Self {
         assert!(rows > 0 && cols > 0, "empty grid {rows}x{cols}");
-        assert!(spacing > 0.0 && spacing.is_finite(), "bad spacing {spacing}");
+        assert!(
+            spacing > 0.0 && spacing.is_finite(),
+            "bad spacing {spacing}"
+        );
         let mut positions = Vec::with_capacity((rows * cols) as usize);
         for r in 0..rows {
             for c in 0..cols {
@@ -104,7 +107,10 @@ impl Grid {
     /// Panics if out of range.
     #[must_use]
     pub fn node_at(&self, row: u32, col: u32) -> NodeId {
-        assert!(row < self.rows && col < self.cols, "({row}, {col}) outside grid");
+        assert!(
+            row < self.rows && col < self.cols,
+            "({row}, {col}) outside grid"
+        );
         NodeId(row * self.cols + col)
     }
 
@@ -115,7 +121,10 @@ impl Grid {
     /// Panics if out of range.
     #[must_use]
     pub fn row_col(&self, node: NodeId) -> (u32, u32) {
-        assert!((node.0 as u64) < self.rows as u64 * self.cols as u64, "{node} outside grid");
+        assert!(
+            (node.0 as u64) < self.rows as u64 * self.cols as u64,
+            "{node} outside grid"
+        );
         (node.0 / self.cols, node.0 % self.cols)
     }
 

@@ -25,4 +25,6 @@ mod random;
 pub use graph::{NodeId, Topology};
 pub use grid::Grid;
 pub use point::Point2;
-pub use random::{area_for_density, density, RandomDeployment};
+pub use random::{
+    area_for_density, density, unit_disk_edges, unit_disk_edges_brute, RandomDeployment,
+};

@@ -76,26 +76,37 @@ impl RandomDeployment {
     /// Deploys `nodes` radios of the given `range` uniformly in a
     /// `side × side` square.
     ///
+    /// Edge construction uses a spatial-hash grid ([`unit_disk_edges`]),
+    /// making deployment O(n) at fixed density instead of the O(n²)
+    /// all-pairs scan — the difference between the paper's `N = 50` and
+    /// the 10k–100k-node deployments this engine targets.
+    ///
     /// # Panics
     ///
     /// Panics if any parameter is non-positive or non-finite.
     #[must_use]
     pub fn in_square(nodes: usize, range: f64, side: f64, rng: &mut impl RngCore) -> Self {
         assert!(nodes > 0, "no nodes");
-        assert!(range > 0.0 && range.is_finite(), "bad range {range}");
         assert!(side > 0.0 && side.is_finite(), "bad side {side}");
         let positions: Vec<Point2> = (0..nodes)
             .map(|_| Point2::new(unit_f64(rng) * side, unit_f64(rng) * side))
             .collect();
-        let range_sq = range * range;
-        let mut edges = Vec::new();
-        for i in 0..nodes {
-            for j in (i + 1)..nodes {
-                if positions[i].distance_squared(positions[j]) <= range_sq {
-                    edges.push((NodeId(i as u32), NodeId(j as u32)));
-                }
-            }
-        }
+        Self::from_positions(positions, range, side)
+    }
+
+    /// Builds a deployment from explicit positions (unit-disk edges of the
+    /// given `range`, computed via the spatial-hash grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no positions, or `range`/`side` are
+    /// non-positive or non-finite.
+    #[must_use]
+    pub fn from_positions(positions: Vec<Point2>, range: f64, side: f64) -> Self {
+        assert!(!positions.is_empty(), "no nodes");
+        assert!(range > 0.0 && range.is_finite(), "bad range {range}");
+        assert!(side > 0.0 && side.is_finite(), "bad side {side}");
+        let edges = unit_disk_edges(&positions, range);
         Self {
             side,
             range,
@@ -162,6 +173,160 @@ impl RandomDeployment {
 /// Uniform `[0, 1)` from 53 random bits of any `RngCore`.
 fn unit_f64(rng: &mut impl RngCore) -> f64 {
     (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// All unit-disk edges among `positions` (pairs at distance ≤ `range`),
+/// each reported once with the smaller id first.
+///
+/// The order is deterministic for given inputs but unspecified (it follows
+/// the internal cell traversal, not node ids) — [`Topology::from_edges`]
+/// normalizes per-node adjacency regardless, so builders need no sort
+/// here; sort both sides when comparing against
+/// [`unit_disk_edges_brute`]'s lexicographic output.
+///
+/// Uses a spatial-hash grid: positions are bucketed into square cells of
+/// side ≥ `range` (counting sort, no per-node allocation), and each cell is
+/// checked only against its forward half-stencil, so every candidate pair
+/// is examined exactly once. At fixed density Δ this is O(n + E) versus the
+/// all-pairs O(n²) of [`unit_disk_edges_brute`].
+///
+/// # Panics
+///
+/// Panics if `range` is non-positive, non-finite, or any coordinate is
+/// non-finite.
+#[must_use]
+pub fn unit_disk_edges(positions: &[Point2], range: f64) -> Vec<(NodeId, NodeId)> {
+    assert!(range > 0.0 && range.is_finite(), "bad range {range}");
+    let n = positions.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let (min_x, min_y, max_x, max_y) = bounding_box(positions);
+
+    // Cell side: at least `range` (so the 3×3 stencil covers the disk),
+    // and large enough that the grid holds at most ~4n cells even when the
+    // domain dwarfs the radio range.
+    let extent = (max_x - min_x).max(max_y - min_y).max(range);
+    let max_cells_per_axis = ((4.0 * n as f64).sqrt().floor() as usize).max(1);
+    let cell = range.max(extent / max_cells_per_axis as f64);
+    let cols = grid_axis_cells(max_x - min_x, cell);
+    let rows = grid_axis_cells(max_y - min_y, cell);
+
+    let cell_of = |p: Point2| -> usize {
+        let gx = (((p.x - min_x) / cell) as usize).min(cols - 1);
+        let gy = (((p.y - min_y) / cell) as usize).min(rows - 1);
+        gy * cols + gx
+    };
+
+    // Counting sort of node indices into cells (CSR layout).
+    let mut starts = vec![0u32; rows * cols + 1];
+    for &p in positions {
+        starts[cell_of(p) + 1] += 1;
+    }
+    for i in 1..starts.len() {
+        starts[i] += starts[i - 1];
+    }
+    // Node ids and their positions laid out in bucket order: candidate
+    // scans below walk both arrays sequentially instead of gathering
+    // positions through a random-index indirection.
+    let mut bucketed = vec![0u32; n];
+    let mut bucket_pts = vec![Point2::new(0.0, 0.0); n];
+    let mut cursor = starts.clone();
+    for (i, &p) in positions.iter().enumerate() {
+        let c = cell_of(p);
+        let slot = cursor[c] as usize;
+        bucketed[slot] = i as u32;
+        bucket_pts[slot] = p;
+        cursor[c] += 1;
+    }
+
+    // Forward half-stencil: within-cell pairs once (k < l by bucket
+    // position), plus the four neighbor cells E, SW, S, SE — every
+    // unordered cell pair is visited from exactly one side. Because cells
+    // are row-major, "rest of own cell + E" is one contiguous run and
+    // "SW + S + SE" another, so each node does two linear scans over the
+    // bucket-ordered position array instead of five short loops. Edges are
+    // packed as `min << 32 | max` u64 keys.
+    let range_sq = range * range;
+    let key = |a: u32, b: u32| (u64::from(a.min(b)) << 32) | u64::from(a.max(b));
+    let mut edges: Vec<u64> = Vec::with_capacity(n * 4);
+    for gy in 0..rows {
+        for gx in 0..cols {
+            let c0 = gy * cols + gx;
+            let (s0, e0) = (starts[c0] as usize, starts[c0 + 1] as usize);
+            // Own cell's tail plus the east neighbor (when it exists).
+            let east_end = starts[c0 + usize::from(gx + 1 < cols) + 1] as usize;
+            // The contiguous SW..SE span of the row below (when it exists).
+            let (below_start, below_end) = if gy + 1 < rows {
+                let row = (gy + 1) * cols;
+                (
+                    starts[row + gx.saturating_sub(1)] as usize,
+                    starts[row + (gx + 1).min(cols - 1) + 1] as usize,
+                )
+            } else {
+                (0, 0)
+            };
+            for k in s0..e0 {
+                let (a, pa) = (bucketed[k], bucket_pts[k]);
+                let east = bucket_pts[k + 1..east_end]
+                    .iter()
+                    .zip(&bucketed[k + 1..east_end]);
+                let below = bucket_pts[below_start..below_end]
+                    .iter()
+                    .zip(&bucketed[below_start..below_end]);
+                for (pb, &b) in east.chain(below) {
+                    let (dx, dy) = (pa.x - pb.x, pa.y - pb.y);
+                    if dx * dx + dy * dy <= range_sq {
+                        edges.push(key(a, b));
+                    }
+                }
+            }
+        }
+    }
+
+    edges
+        .into_iter()
+        .map(|e| (NodeId((e >> 32) as u32), NodeId(e as u32)))
+        .collect()
+}
+
+/// Reference all-pairs implementation of [`unit_disk_edges`]: O(n²), kept
+/// for property tests and as the bench baseline the spatial hash is
+/// measured against.
+///
+/// # Panics
+///
+/// Panics if `range` is non-positive or non-finite.
+#[must_use]
+pub fn unit_disk_edges_brute(positions: &[Point2], range: f64) -> Vec<(NodeId, NodeId)> {
+    assert!(range > 0.0 && range.is_finite(), "bad range {range}");
+    let range_sq = range * range;
+    let mut edges = Vec::new();
+    for i in 0..positions.len() {
+        for j in (i + 1)..positions.len() {
+            if positions[i].distance_squared(positions[j]) <= range_sq {
+                edges.push((NodeId(i as u32), NodeId(j as u32)));
+            }
+        }
+    }
+    edges
+}
+
+fn bounding_box(positions: &[Point2]) -> (f64, f64, f64, f64) {
+    let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+    let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for p in positions {
+        assert!(p.x.is_finite() && p.y.is_finite(), "non-finite position");
+        min_x = min_x.min(p.x);
+        min_y = min_y.min(p.y);
+        max_x = max_x.max(p.x);
+        max_y = max_y.max(p.y);
+    }
+    (min_x, min_y, max_x, max_y)
+}
+
+fn grid_axis_cells(extent: f64, cell: f64) -> usize {
+    ((extent / cell).floor() as usize + 1).max(1)
 }
 
 #[cfg(test)]
@@ -248,5 +413,87 @@ mod tests {
     #[should_panic(expected = "bad density")]
     fn zero_density_panics() {
         let _ = area_for_density(30.0, 50, 0.0);
+    }
+
+    /// Grid output order is unspecified; normalize before comparing with
+    /// the lexicographic brute-force reference.
+    fn sorted_grid_edges(positions: &[Point2], range: f64) -> Vec<(NodeId, NodeId)> {
+        let mut edges = unit_disk_edges(positions, range);
+        edges.sort_unstable();
+        edges
+    }
+
+    fn random_positions(n: usize, side: f64, rng: &mut SimRng) -> Vec<Point2> {
+        (0..n)
+            .map(|_| Point2::new(rng.uniform01() * side, rng.uniform01() * side))
+            .collect()
+    }
+
+    #[test]
+    fn spatial_hash_matches_brute_force_across_seeds_and_scales() {
+        for (seed, n, range, side) in [
+            (1u64, 2usize, 5.0, 100.0),
+            (2, 50, 30.0, 120.0),
+            (3, 200, 10.0, 50.0),
+            (4, 400, 3.0, 200.0),
+            (5, 333, 75.0, 80.0),
+            (6, 100, 0.5, 1000.0), // sparse: cell-count cap engages
+        ] {
+            let mut rng = SimRng::new(seed);
+            let positions = random_positions(n, side, &mut rng);
+            assert_eq!(
+                sorted_grid_edges(&positions, range),
+                unit_disk_edges_brute(&positions, range),
+                "seed {seed}, n {n}, range {range}, side {side}"
+            );
+        }
+    }
+
+    #[test]
+    fn spatial_hash_degenerate_all_nodes_in_one_cell() {
+        // Every pairwise distance is within range: complete graph.
+        let mut rng = SimRng::new(7);
+        let positions = random_positions(40, 1.0, &mut rng);
+        let edges = sorted_grid_edges(&positions, 10.0);
+        assert_eq!(edges.len(), 40 * 39 / 2);
+        assert_eq!(edges, unit_disk_edges_brute(&positions, 10.0));
+    }
+
+    #[test]
+    fn spatial_hash_nodes_on_cell_boundaries() {
+        // Nodes at exact multiples of the range sit on cell borders; edges
+        // at exactly distance == range must be included.
+        let r = 10.0;
+        let mut positions = Vec::new();
+        for gx in 0..5 {
+            for gy in 0..5 {
+                positions.push(Point2::new(f64::from(gx) * r, f64::from(gy) * r));
+            }
+        }
+        let edges = sorted_grid_edges(&positions, r);
+        assert_eq!(edges, unit_disk_edges_brute(&positions, r));
+        // Axis-aligned lattice neighbors are exactly `r` apart: 2·5·4 edges.
+        assert_eq!(edges.len(), 40);
+    }
+
+    #[test]
+    fn spatial_hash_coincident_points() {
+        let positions = vec![Point2::new(3.0, 3.0); 8];
+        let edges = sorted_grid_edges(&positions, 1.0);
+        assert_eq!(edges.len(), 8 * 7 / 2);
+        assert_eq!(edges, unit_disk_edges_brute(&positions, 1.0));
+    }
+
+    #[test]
+    fn from_positions_matches_in_square_topology() {
+        let mut rng = SimRng::new(8);
+        let d1 = RandomDeployment::in_square(120, 12.0, 70.0, &mut rng);
+        let positions: Vec<Point2> = d1
+            .topology()
+            .nodes()
+            .map(|n| d1.topology().position(n))
+            .collect();
+        let d2 = RandomDeployment::from_positions(positions, 12.0, 70.0);
+        assert_eq!(d1, d2);
     }
 }

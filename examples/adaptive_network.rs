@@ -24,7 +24,10 @@ fn main() {
     println!("time (s)   mean p   mean q");
     for (i, (p, q)) in stats.adaptive_trace.iter().enumerate() {
         if i % 5 == 0 {
-            println!("{:>8.0}   {p:>6.3}   {q:>6.3}", i as f64 * cfg.beacon_interval_secs);
+            println!(
+                "{:>8.0}   {p:>6.3}   {q:>6.3}",
+                i as f64 * cfg.beacon_interval_secs
+            );
         }
     }
 

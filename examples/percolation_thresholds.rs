@@ -33,7 +33,8 @@ fn main() {
     let grid = Grid::square(30);
     let mut rng = SimRng::new(43);
     let ps = [0.1, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0];
-    let (critical, boundary) = pq_boundary(grid.topology(), grid.center(), 0.99, &ps, 150, &mut rng);
+    let (critical, boundary) =
+        pq_boundary(grid.topology(), grid.center(), 0.99, &ps, 150, &mut rng);
     println!("99% reliability on 30x30: critical p_edge = {critical:.3}");
     let mut b = Table::new(["p", "q_min", "p_edge at (p, q_min)"]);
     for (p, q) in boundary {
@@ -48,8 +49,16 @@ fn main() {
     println!("PBBF offers — everything below the line risks partial dissemination.");
 
     // Sanity: simulate one point just above and one just below.
-    let above = PbbfParams::new(0.75, (min_q_for_reliability(0.75, critical).unwrap() + 0.1).min(1.0)).unwrap();
-    let below = PbbfParams::new(0.75, (min_q_for_reliability(0.75, critical).unwrap() - 0.25).max(0.0)).unwrap();
+    let above = PbbfParams::new(
+        0.75,
+        (min_q_for_reliability(0.75, critical).unwrap() + 0.1).min(1.0),
+    )
+    .unwrap();
+    let below = PbbfParams::new(
+        0.75,
+        (min_q_for_reliability(0.75, critical).unwrap() - 0.25).max(0.0),
+    )
+    .unwrap();
     let mut cfg = IdealConfig::table1();
     cfg.grid_side = 30;
     cfg.updates = 3;

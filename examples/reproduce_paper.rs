@@ -46,7 +46,11 @@ fn main() {
         println!("{text}");
         fs::write(format!("results/{}.txt", exp.id()), &text).expect("write text");
         fs::write(format!("results/{}.csv", exp.id()), out.to_csv()).expect("write csv");
-        println!("[{} regenerated in {secs:.1} s -> results/{}.{{txt,csv}}]\n", exp.id(), exp.id());
+        println!(
+            "[{} regenerated in {secs:.1} s -> results/{}.{{txt,csv}}]\n",
+            exp.id(),
+            exp.id()
+        );
     }
     println!("All requested exhibits written to results/.");
 }

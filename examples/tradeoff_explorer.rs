@@ -33,7 +33,13 @@ fn main() {
         frontier.critical_edge_probability
     );
 
-    let mut t = Table::new(["p", "q (reliable)", "link latency (s)", "rel. energy", "J/update"]);
+    let mut t = Table::new([
+        "p",
+        "q (reliable)",
+        "link latency (s)",
+        "rel. energy",
+        "J/update",
+    ]);
     for pt in &frontier.points {
         t.row([
             format!("{:.2}", pt.params.p()),

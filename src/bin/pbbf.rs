@@ -80,7 +80,11 @@ fn parse(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), Stri
     Ok((flags, positional))
 }
 
-fn get_f64(flags: &HashMap<String, String>, key: &str, default: Option<f64>) -> Result<f64, String> {
+fn get_f64(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: Option<f64>,
+) -> Result<f64, String> {
     match flags.get(key) {
         Some(v) => v.parse().map_err(|_| format!("--{key}: bad number `{v}`")),
         None => default.ok_or_else(|| format!("missing required flag --{key}")),
@@ -102,11 +106,31 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let a = AnalysisParams::table1();
     let pt = analysis::analyze(&a, params);
     let mut t = Table::new(["Quantity", "Value", "Source"]);
-    t.row(["p_edge = 1 - p(1-q)".to_string(), format!("{:.4}", pt.edge_probability), "Remark 1".to_string()]);
-    t.row(["relative energy".to_string(), format!("{:.4}", pt.relative_energy), "Eq. 7".to_string()]);
-    t.row(["energy increase over PSM".to_string(), format!("{:.3}x", pt.energy_increase), "Eq. 8".to_string()]);
-    t.row(["expected link latency".to_string(), format!("{:.3} s", pt.link_latency), "Eq. 9".to_string()]);
-    t.row(["joules per update".to_string(), format!("{:.4} J", pt.joules_per_update), "Table 1 power".to_string()]);
+    t.row([
+        "p_edge = 1 - p(1-q)".to_string(),
+        format!("{:.4}", pt.edge_probability),
+        "Remark 1".to_string(),
+    ]);
+    t.row([
+        "relative energy".to_string(),
+        format!("{:.4}", pt.relative_energy),
+        "Eq. 7".to_string(),
+    ]);
+    t.row([
+        "energy increase over PSM".to_string(),
+        format!("{:.3}x", pt.energy_increase),
+        "Eq. 8".to_string(),
+    ]);
+    t.row([
+        "expected link latency".to_string(),
+        format!("{:.3} s", pt.link_latency),
+        "Eq. 9".to_string(),
+    ]);
+    t.row([
+        "joules per update".to_string(),
+        format!("{:.4} J", pt.joules_per_update),
+        "Table 1 power".to_string(),
+    ]);
     print!("{}", t.render());
     Ok(())
 }
@@ -147,15 +171,24 @@ fn cmd_ideal(args: &[String]) -> Result<(), String> {
     cfg.updates = updates;
     let stats = IdealSim::new(cfg, IdealMode::SleepScheduled(params)).run(seed);
     let mut t = Table::new(["Metric", "Value"]);
-    t.row(["delivered fraction".to_string(), format!("{:.4}", stats.mean_delivered_fraction())]);
-    t.row(["joules/update/node".to_string(), format!("{:.4}", stats.mean_energy_per_update())]);
+    t.row([
+        "delivered fraction".to_string(),
+        format!("{:.4}", stats.mean_delivered_fraction()),
+    ]);
+    t.row([
+        "joules/update/node".to_string(),
+        format!("{:.4}", stats.mean_energy_per_update()),
+    ]);
     t.row([
         "per-hop latency".to_string(),
         stats
             .mean_per_hop_latency()
             .map_or("n/a".to_string(), |l| format!("{l:.3} s")),
     ]);
-    t.row(["transmissions/update".to_string(), format!("{:.1}", stats.mean_total_tx())]);
+    t.row([
+        "transmissions/update".to_string(),
+        format!("{:.1}", stats.mean_total_tx()),
+    ]);
     print!("{}", t.render());
     Ok(())
 }
@@ -173,9 +206,18 @@ fn cmd_net(args: &[String]) -> Result<(), String> {
     cfg.duration_secs = duration;
     let stats = NetSim::new(cfg, NetMode::SleepScheduled(params)).run(seed);
     let mut t = Table::new(["Metric", "Value"]);
-    t.row(["updates generated".to_string(), format!("{}", stats.updates_generated())]);
-    t.row(["delivery ratio".to_string(), format!("{:.4}", stats.mean_delivery_ratio())]);
-    t.row(["joules/update/node".to_string(), format!("{:.4}", stats.energy_per_update())]);
+    t.row([
+        "updates generated".to_string(),
+        format!("{}", stats.updates_generated()),
+    ]);
+    t.row([
+        "delivery ratio".to_string(),
+        format!("{:.4}", stats.mean_delivery_ratio()),
+    ]);
+    t.row([
+        "joules/update/node".to_string(),
+        format!("{:.4}", stats.energy_per_update()),
+    ]);
     for hops in [2u32, 5] {
         t.row([
             format!("{hops}-hop latency"),
@@ -184,7 +226,10 @@ fn cmd_net(args: &[String]) -> Result<(), String> {
                 .map_or("n/a".to_string(), |l| format!("{l:.2} s")),
         ]);
     }
-    t.row(["data tx (immediate)".to_string(), format!("{} ({})", stats.data_tx, stats.immediate_tx)]);
+    t.row([
+        "data tx (immediate)".to_string(),
+        format!("{} ({})", stats.data_tx, stats.immediate_tx),
+    ]);
     t.row(["collisions".to_string(), format!("{}", stats.collisions)]);
     print!("{}", t.render());
     Ok(())

@@ -67,13 +67,13 @@ pub mod prelude {
     };
     pub use pbbf_des::{EventQueue, SimDuration, SimRng, SimTime};
     pub use pbbf_experiments::{Effort, Experiment, Output};
-    pub use pbbf_ideal_sim::{
-        IdealConfig, IdealSim, Mode as IdealMode, RunStats as IdealRunStats,
-    };
+    pub use pbbf_ideal_sim::{IdealConfig, IdealSim, Mode as IdealMode, RunStats as IdealRunStats};
     pub use pbbf_metrics::{ConfidenceInterval, Figure, Series, Summary, Table};
     pub use pbbf_net_sim::{NetConfig, NetMode, NetRunStats, NetSim};
     pub use pbbf_percolation::{
         critical_bond_ratio, min_q_for_reliability, pq_boundary, NewmanZiff,
     };
-    pub use pbbf_topology::{Grid, NodeId, Point2, RandomDeployment, Topology};
+    pub use pbbf_topology::{
+        unit_disk_edges, unit_disk_edges_brute, Grid, NodeId, Point2, RandomDeployment, Topology,
+    };
 }

@@ -98,7 +98,10 @@ fn analytic_latency_ordering_matches_ideal_simulation() {
         .run(6)
         .mean_per_hop_latency()
         .unwrap();
-    assert!(l_fast < l_psm / 2.0, "immediate chains beat PSM: {l_fast} vs {l_psm}");
+    assert!(
+        l_fast < l_psm / 2.0,
+        "immediate chains beat PSM: {l_fast} vs {l_psm}"
+    );
 
     // The analytic ordering agrees.
     let an_psm = analysis::expected_link_latency(0.0, 0.0, a.l1, a.l2());
@@ -129,12 +132,18 @@ fn ideal_and_realistic_simulators_agree_qualitatively() {
             .mean_delivery_ratio()
     };
 
-    for (sim_name, f) in [("ideal", &ideal as &dyn Fn(f64, f64, u64) -> f64), ("net", &net)] {
+    for (sim_name, f) in [
+        ("ideal", &ideal as &dyn Fn(f64, f64, u64) -> f64),
+        ("net", &net),
+    ] {
         let psm = f(0.0, 0.0, 3);
         let bad = f(0.9, 0.0, 3);
         let good = f(0.9, 1.0, 3);
         assert!(psm > 0.8, "{sim_name}: PSM reliable ({psm})");
-        assert!(bad < psm, "{sim_name}: high p / q=0 degrades ({bad} !< {psm})");
+        assert!(
+            bad < psm,
+            "{sim_name}: high p / q=0 degrades ({bad} !< {psm})"
+        );
         assert!(good > bad, "{sim_name}: q rescues ({good} !> {bad})");
     }
 }
@@ -157,12 +166,8 @@ fn frontier_consistent_with_components() {
         &mut rng,
     );
     for pt in &frontier.points {
-        let expected_lat = analysis::expected_link_latency(
-            pt.params.p(),
-            pt.params.q(),
-            params.l1,
-            params.l2(),
-        );
+        let expected_lat =
+            analysis::expected_link_latency(pt.params.p(), pt.params.q(), params.l1, params.l2());
         assert!((pt.link_latency - expected_lat).abs() < 1e-9);
         let expected_energy = analysis::relative_energy_pbbf(&params.schedule, pt.params.q());
         assert!((pt.relative_energy - expected_energy).abs() < 1e-12);

@@ -43,7 +43,12 @@ fn every_exhibit_regenerates_and_renders() {
 fn exhibits_are_deterministic_per_seed() {
     let e = tiny();
     for exp in [Experiment::Fig06, Experiment::Fig07, Experiment::Fig12] {
-        assert_eq!(exp.run(&e, 5), exp.run(&e, 5), "{} not deterministic", exp.id());
+        assert_eq!(
+            exp.run(&e, 5),
+            exp.run(&e, 5),
+            "{} not deterministic",
+            exp.id()
+        );
     }
 }
 
@@ -80,7 +85,11 @@ fn simulated_threshold_brackets_percolation_prediction() {
         above.mean(),
         below.mean()
     );
-    assert!(above.mean() > 0.6, "above boundary mostly reliable: {}", above.mean());
+    assert!(
+        above.mean() > 0.6,
+        "above boundary mostly reliable: {}",
+        above.mean()
+    );
 }
 
 /// Figures 14/15 shape: the PBBF-vs-PSM cross-over happens at lower q for
@@ -103,7 +112,10 @@ fn crossover_earlier_for_distant_nodes() {
     let pbbf = NetMode::SleepScheduled(PbbfParams::new(0.5, 0.9).unwrap());
     let gain2 = mean(psm, 2) - mean(pbbf, 2);
     let gain5 = mean(psm, 5) - mean(pbbf, 5);
-    assert!(gain5 > gain2, "per-hop savings compound: {gain5} !> {gain2}");
+    assert!(
+        gain5 > gain2,
+        "per-hop savings compound: {gain5} !> {gain2}"
+    );
 }
 
 /// Figure 17/18 shape: density helps latency and reliability.

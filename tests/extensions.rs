@@ -18,9 +18,14 @@ fn gossip_threshold_above_bond_threshold() {
         let mut s = Summary::new();
         for seed in 0..4 {
             s.record(
-                IdealSim::new(cfg, Mode::Gossip { forward_probability: g })
-                    .run(seed)
-                    .mean_delivered_fraction(),
+                IdealSim::new(
+                    cfg,
+                    Mode::Gossip {
+                        forward_probability: g,
+                    },
+                )
+                .run(seed)
+                .mean_delivered_fraction(),
             );
         }
         s.mean()
@@ -42,9 +47,14 @@ fn gossip_threshold_above_bond_threshold() {
                 .mean_delivered_fraction(),
         );
         gossip_frac.record(
-            IdealSim::new(cfg, Mode::Gossip { forward_probability: 0.55 })
-                .run(seed)
-                .mean_delivered_fraction(),
+            IdealSim::new(
+                cfg,
+                Mode::Gossip {
+                    forward_probability: 0.55,
+                },
+            )
+            .run(seed)
+            .mean_delivered_fraction(),
         );
     }
     assert!(

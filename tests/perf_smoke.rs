@@ -1,0 +1,58 @@
+//! Coarse performance guardrails for the fast-path overhaul.
+//!
+//! These are smoke tests, not benchmarks (see `crates/bench` and
+//! `BENCH_baseline.json` for real numbers): thresholds are set an order of
+//! magnitude below the observed speedups so scheduler noise on loaded CI
+//! machines cannot flake them, while a regression that reverts a fast path
+//! to its O(n²)/hashing predecessor still fails loudly.
+
+use std::time::Instant;
+
+use pbbf::prelude::*;
+
+#[test]
+fn spatial_hash_beats_brute_force_at_n4000() {
+    let n = 4000;
+    let range = 30.0;
+    let side = pbbf::topology::area_for_density(range, n, 10.0).sqrt();
+    let mut rng = SimRng::new(11);
+    let positions: Vec<Point2> = (0..n)
+        .map(|_| Point2::new(rng.uniform01() * side, rng.uniform01() * side))
+        .collect();
+
+    // Warm both paths once (page-in, allocator).
+    let _ = unit_disk_edges(&positions, range);
+    let _ = unit_disk_edges_brute(&positions, range);
+
+    let t0 = Instant::now();
+    let mut grid = unit_disk_edges(&positions, range);
+    let grid_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let brute = unit_disk_edges_brute(&positions, range);
+    let brute_time = t1.elapsed();
+
+    grid.sort_unstable();
+    assert_eq!(grid, brute);
+    assert!(
+        grid_time.as_secs_f64() * 3.0 < brute_time.as_secs_f64(),
+        "spatial hash must be far faster than brute force: grid {grid_time:?} vs brute {brute_time:?}"
+    );
+}
+
+#[test]
+fn large_deployment_builds_quickly() {
+    // 10k nodes: infeasible territory for the seed's O(n²) loop at
+    // interactive timescales; the spatial hash should stay well under a
+    // second even on a loaded machine in a debug-opt profile.
+    let t0 = Instant::now();
+    let mut rng = SimRng::new(5);
+    let d = RandomDeployment::with_density(10_000, 30.0, 12.0, &mut rng);
+    let elapsed = t0.elapsed();
+    assert_eq!(d.topology().len(), 10_000);
+    assert!(d.topology().mean_degree() > 6.0);
+    assert!(
+        elapsed.as_secs_f64() < 5.0,
+        "10k-node deployment took {elapsed:?}"
+    );
+}

@@ -106,6 +106,48 @@ proptest! {
         prop_assert!(t.is_connected());
     }
 
+    /// The spatial-hash edge builder agrees with the O(n²) reference on
+    /// arbitrary point clouds — including degenerate shapes where every
+    /// node lands in one grid cell (side ≪ range) and sparse ones where
+    /// the cell-count cap engages (side ≫ range).
+    #[test]
+    fn spatial_hash_equals_brute_force(
+        seed in any::<u64>(),
+        n in 2usize..90,
+        range in 0.5f64..40.0,
+        side in 1.0f64..200.0,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let positions: Vec<Point2> = (0..n)
+            .map(|_| Point2::new(rng.uniform01() * side, rng.uniform01() * side))
+            .collect();
+        let mut grid = unit_disk_edges(&positions, range);
+        grid.sort_unstable();
+        prop_assert_eq!(grid, unit_disk_edges_brute(&positions, range));
+    }
+
+    /// Same agreement when nodes sit exactly on cell boundaries (integer
+    /// multiples of the range), where ties `distance == range` must be
+    /// kept by both paths.
+    #[test]
+    fn spatial_hash_handles_boundary_ties(cols in 1u32..7, rows in 1u32..7, range in 1.0f64..20.0) {
+        let mut positions = Vec::new();
+        for gx in 0..cols {
+            for gy in 0..rows {
+                positions.push(Point2::new(f64::from(gx) * range, f64::from(gy) * range));
+            }
+        }
+        if positions.len() < 2 {
+            return Ok(());
+        }
+        // Whether a tie at distance == range survives rounding is decided
+        // by the same f64 arithmetic in both paths — they must agree on
+        // every pair either way.
+        let mut grid = unit_disk_edges(&positions, range);
+        grid.sort_unstable();
+        prop_assert_eq!(grid, unit_disk_edges_brute(&positions, range));
+    }
+
     /// Unit-disk deployments: edges exactly match the range predicate.
     #[test]
     fn unit_disk_edges_match_distances(seed in any::<u64>(), n in 5usize..40) {
