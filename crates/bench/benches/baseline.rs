@@ -18,14 +18,22 @@
 //! * `event_queue_churn_100k` — schedule/cancel/pop mix exercising the
 //!   generation-stamped slot queue.
 //! * `net_sim_run_120s` — one end-to-end realistic-simulator run.
+//! * `channel_churn_dense_delta16` vs `channel_churn_dense_delta16_brute`
+//!   — a CSMA-like begin/carrier-sense/end mix on a dense (Δ = 16)
+//!   deployment, incremental engine against the O(active × degree)
+//!   reference (the PR-2 acceptance criterion is ≥2× here).
+//! * `net_sim_run_delta16` vs `net_sim_run_delta16_brute` — a dense
+//!   end-to-end run on each channel engine.
 //! * `fig06_quick_effort` — one full figure regeneration at quick effort.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use pbbf_des::{EventQueue, SimRng, SimTime};
+use pbbf_des::{EventQueue, SimDuration, SimRng, SimTime};
 use pbbf_experiments::{fig06, Effort};
 use pbbf_net_sim::{NetConfig, NetMode, NetSim};
+use pbbf_radio::{BruteChannel, Channel, CollisionChannel, Frame};
 use pbbf_topology::{
-    area_for_density, unit_disk_edges, unit_disk_edges_brute, Point2, RandomDeployment,
+    area_for_density, unit_disk_edges, unit_disk_edges_brute, NodeId, Point2, RandomDeployment,
+    Topology,
 };
 
 fn positions_at_density(n: usize, range: f64, delta: f64, seed: u64) -> (Vec<Point2>, f64) {
@@ -92,6 +100,67 @@ fn event_queue_churn(c: &mut Criterion) {
     });
 }
 
+/// A CSMA-like churn: every millisecond, complete due transmissions and
+/// start up to four new ones from randomly probed idle nodes (each probe
+/// carrier-senses first, like the MAC does). Returns a checksum of clean
+/// deliveries and suppressed probes so the workload can't be optimized
+/// away — and so both engines can be asserted to agree on it.
+fn channel_churn<C: CollisionChannel>(ch: &mut C, steps: u32) -> u64 {
+    let n = ch.topology().len() as u64;
+    let air = SimDuration::from_millis(20);
+    let mut rng = SimRng::new(99);
+    let mut inflight: std::collections::VecDeque<(SimTime, NodeId)> =
+        std::collections::VecDeque::new();
+    let mut out = Vec::new();
+    let mut acc = 0u64;
+    for step in 0..steps {
+        let now = SimTime::from_nanos(u64::from(step) * 1_000_000);
+        while let Some(&(end, node)) = inflight.front() {
+            if end > now {
+                break;
+            }
+            inflight.pop_front();
+            let _ = ch.end_tx_into(end, node, &mut out);
+            acc += out.iter().filter(|d| d.clean).count() as u64;
+        }
+        for _ in 0..4 {
+            let node = NodeId(rng.below(n) as u32);
+            // carrier_busy covers own transmissions too.
+            if ch.carrier_busy(node) {
+                acc += 1;
+                continue;
+            }
+            let end = ch.begin_tx(now, Frame::beacon(node), air);
+            inflight.push_back((end, node));
+        }
+    }
+    while let Some((end, node)) = inflight.pop_front() {
+        let _ = ch.end_tx_into(end, node, &mut out);
+        acc += out.iter().filter(|d| d.clean).count() as u64;
+    }
+    acc
+}
+
+fn dense_delta16_topology() -> Topology {
+    let mut rng = SimRng::new(7);
+    RandomDeployment::connected_with_density(300, 30.0, 16.0, 1000, &mut rng)
+        .expect("dense deployment")
+        .into_topology()
+}
+
+fn channel_churn_dense(c: &mut Criterion) {
+    let topo = dense_delta16_topology();
+    let fast = channel_churn(&mut Channel::new(topo.clone()), 2000);
+    let brute = channel_churn(&mut BruteChannel::new(topo.clone()), 2000);
+    assert_eq!(fast, brute, "engines must agree on the churn checksum");
+    c.bench_function("channel_churn_dense_delta16", |b| {
+        b.iter(|| channel_churn(&mut Channel::new(black_box(topo.clone())), 2000))
+    });
+    c.bench_function("channel_churn_dense_delta16_brute", |b| {
+        b.iter(|| channel_churn(&mut BruteChannel::new(black_box(topo.clone())), 2000))
+    });
+}
+
 fn net_sim_run(c: &mut Criterion) {
     let mut cfg = NetConfig::table2();
     cfg.duration_secs = 120.0;
@@ -100,6 +169,25 @@ fn net_sim_run(c: &mut Criterion) {
         NetMode::SleepScheduled(pbbf_core::PbbfParams::new(0.25, 0.25).expect("valid")),
     );
     c.bench_function("net_sim_run_120s", |b| b.iter(|| sim.run(4)));
+}
+
+fn net_sim_run_dense(c: &mut Criterion) {
+    // Where the channel engine dominates: a dense (Δ = 16), large (1000
+    // nodes), busy (λ = 1) scenario with many concurrent transmissions —
+    // Table-2 traffic (50 nodes, λ = 0.01) is too sparse to tell the
+    // engines apart.
+    let mut cfg = NetConfig::table2();
+    cfg.nodes = 1000;
+    cfg.duration_secs = 120.0;
+    cfg.delta = 16.0;
+    cfg.lambda = 1.0;
+    let sim = NetSim::new(
+        cfg,
+        NetMode::SleepScheduled(pbbf_core::PbbfParams::new(0.5, 0.5).expect("valid")),
+    );
+    assert_eq!(sim.run(4), sim.run_brute(4), "engines must agree");
+    c.bench_function("net_sim_run_delta16", |b| b.iter(|| sim.run(4)));
+    c.bench_function("net_sim_run_delta16_brute", |b| b.iter(|| sim.run_brute(4)));
 }
 
 fn figure_quick(c: &mut Criterion) {
@@ -113,6 +201,7 @@ criterion_group! {
         .sample_size(10)
         .measurement_time(std::time::Duration::from_secs(3))
         .warm_up_time(std::time::Duration::from_millis(300));
-    targets = deployment_edges, deployment_build_10k, event_queue_churn, net_sim_run, figure_quick
+    targets = deployment_edges, deployment_build_10k, event_queue_churn, channel_churn_dense,
+        net_sim_run, net_sim_run_dense, figure_quick
 }
 criterion_main!(baseline);

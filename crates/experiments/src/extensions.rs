@@ -43,27 +43,30 @@ pub fn ext_gossip_vs_pbbf(effort: &Effort, seed: u64) -> Figure {
 
     let mut gossip = Series::new("Gossip (simulated)");
     let mut pbbf = Series::new("PBBF-0.75 (simulated)");
-    for (xi, &x) in xs.iter().enumerate() {
-        // Both simulators' runs fan out together; per-run streams depend
-        // only on (seed, x index, run index) and sums fold in run order.
-        let fractions = pbbf_parallel::par_run(effort.runs as usize, |r| {
-            let s = mix(seed, (xi as u64) << 32 | r as u64);
-            let g = IdealSim::new(
-                cfg,
-                Mode::Gossip {
-                    forward_probability: x,
-                },
-            )
+    // Point-level fan-out: every (x value, run) pair of both simulators
+    // schedules as one flat job list. Per-job streams depend only on
+    // (seed, x index, run index) and per-point sums fold in run order, so
+    // the figure is bitwise identical for any thread count.
+    let fractions = pbbf_parallel::par_run_grouped(xs.len(), effort.runs as usize, |xi, r| {
+        let x = xs[xi];
+        let s = mix(seed, (xi as u64) << 32 | r as u64);
+        let g = IdealSim::new(
+            cfg,
+            Mode::Gossip {
+                forward_probability: x,
+            },
+        )
+        .run(s)
+        .mean_delivered_fraction();
+        let params = PbbfParams::new(0.75, x).expect("valid");
+        let p = IdealSim::new(cfg, Mode::SleepScheduled(params))
             .run(s)
             .mean_delivered_fraction();
-            let params = PbbfParams::new(0.75, x).expect("valid");
-            let p = IdealSim::new(cfg, Mode::SleepScheduled(params))
-                .run(s)
-                .mean_delivered_fraction();
-            (g, p)
-        });
+        (g, p)
+    });
+    for (&x, point) in xs.iter().zip(&fractions) {
         let (mut g_frac, mut p_frac) = (0.0, 0.0);
-        for (g, p) in fractions {
+        for &(g, p) in point {
             g_frac += g;
             p_frac += p;
         }
@@ -154,14 +157,16 @@ pub fn ext_latency_tail(effort: &Effort, seed: u64) -> Figure {
     let mut p50 = Series::new("p50");
     let mut p90 = Series::new("p90");
     let mut p99 = Series::new("p99");
-    for (qi, &q) in qs.iter().enumerate() {
-        let mode = NetMode::SleepScheduled(PbbfParams::new(0.5, q).expect("valid"));
-        let sim = NetSim::new(cfg, mode);
+    // Point-level fan-out: all (q, run) jobs schedule together; per-q
+    // histograms fold in run order, so percentiles are thread-count
+    // invariant.
+    let all_stats = pbbf_parallel::par_run_grouped(qs.len(), effort.runs as usize, |qi, r| {
+        let mode = NetMode::SleepScheduled(PbbfParams::new(0.5, qs[qi]).expect("valid"));
+        NetSim::new(cfg, mode).run(mix(seed, (qi as u64) << 32 | r as u64))
+    });
+    for (&q, point_stats) in qs.iter().zip(&all_stats) {
         let mut hist = Histogram::new(0.0, 120.0, 240);
-        let stats = pbbf_parallel::par_run(effort.runs as usize, |r| {
-            sim.run(mix(seed, (qi as u64) << 32 | r as u64))
-        });
-        for s in &stats {
+        for s in point_stats {
             for (u, gen) in s.gen_times.iter().enumerate() {
                 for (node, t) in s.receptions[u].iter().enumerate() {
                     if node == s.source.index() {
@@ -199,17 +204,19 @@ pub fn ext_k_tradeoff(effort: &Effort, seed: u64) -> Figure {
     let ks = [1usize, 2, 4, 8];
     let mut ratio = Series::new("delivery ratio");
     let mut payload = Series::new("update payloads per packet");
-    for (ki, &k) in ks.iter().enumerate() {
+    // Point-level fan-out: every (k, run) job schedules together; per-k
+    // sums fold in run order (thread-count invariant).
+    let ratios = pbbf_parallel::par_run_grouped(ks.len(), effort.runs as usize, |ki, r| {
         let mut cfg = NetConfig::table2();
         cfg.duration_secs = effort.net_duration_secs;
-        cfg.k = k;
+        cfg.k = ks[ki];
         let mode = NetMode::SleepScheduled(PbbfParams::new(0.5, 0.25).expect("valid"));
-        let sim = NetSim::new(cfg, mode);
-        let ratios = pbbf_parallel::par_run(effort.runs as usize, |r| {
-            sim.run(mix(seed, (ki as u64) << 32 | r as u64))
-                .mean_delivery_ratio()
-        });
-        let acc: f64 = ratios.iter().sum();
+        NetSim::new(cfg, mode)
+            .run(mix(seed, (ki as u64) << 32 | r as u64))
+            .mean_delivery_ratio()
+    });
+    for (&k, point_ratios) in ks.iter().zip(&ratios) {
+        let acc: f64 = point_ratios.iter().sum();
         ratio.push(k as f64, acc / f64::from(effort.runs));
         payload.push(k as f64, k as f64);
     }

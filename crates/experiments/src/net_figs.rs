@@ -29,24 +29,35 @@ fn net_config(effort: &Effort, delta: f64) -> NetConfig {
     cfg
 }
 
-fn run_point(
+/// One sweep point: a scenario, a protocol mode, and the point's seed.
+struct NetPoint {
     cfg: NetConfig,
     mode: NetMode,
-    effort: &Effort,
     seed: u64,
+}
+
+/// Runs a whole sweep's Monte Carlo batch as one flat `(point, run)` job
+/// list fanned across threads (`par_run_grouped`), returning one
+/// confidence interval per point (in point order).
+///
+/// Each job's RNG stream depends only on `(point seed, run index)` and
+/// per-point summaries fold in run order, so results are bitwise
+/// identical to the sequential per-point loop for any thread count.
+fn run_points(
+    effort: &Effort,
+    points: &[NetPoint],
     metric: &(impl Fn(&NetRunStats) -> Option<f64> + Sync),
-) -> Option<ConfidenceInterval> {
-    let sim = NetSim::new(cfg, mode);
-    // Independent runs fan out across threads; each derives its stream
-    // from (seed, run index) alone and results fold in index order, so the
-    // summary is bitwise identical to the sequential loop.
-    let vals: Summary = pbbf_parallel::par_run(effort.runs as usize, |r| {
-        metric(&sim.run(mix(seed, r as u64)))
-    })
-    .into_iter()
-    .flatten()
-    .collect();
-    (!vals.is_empty()).then(|| ConfidenceInterval::from_summary(&vals, 0.95))
+) -> Vec<Option<ConfidenceInterval>> {
+    let vals = pbbf_parallel::par_run_grouped(points.len(), effort.runs as usize, |pi, r| {
+        let pt = &points[pi];
+        metric(&NetSim::new(pt.cfg, pt.mode).run(mix(pt.seed, r as u64)))
+    });
+    vals.into_iter()
+        .map(|point_vals| {
+            let summary: Summary = point_vals.into_iter().flatten().collect();
+            (!summary.is_empty()).then(|| ConfidenceInterval::from_summary(&summary, 0.95))
+        })
+        .collect()
 }
 
 /// Sweeps a metric over `q` at the Table-2 density for the PBBF lines plus
@@ -58,24 +69,45 @@ fn q_sweep(
 ) -> Vec<Series> {
     let qs = effort.q_values();
     let cfg = net_config(effort, NetConfig::table2().delta);
-    let mut series = Vec::new();
+    let mut points = Vec::new();
     for (pi, &p) in NET_P_VALUES.iter().enumerate() {
-        let mut s = Series::new(format!("PBBF-{p}"));
         for (qi, &q) in qs.iter().enumerate() {
-            let mode = NetMode::SleepScheduled(PbbfParams::new(p, q).expect("valid sweep"));
-            let point_seed = mix(seed, (pi as u64) << 32 | qi as u64);
-            if let Some(ci) = run_point(cfg, mode, effort, point_seed, &metric) {
+            points.push(NetPoint {
+                cfg,
+                mode: NetMode::SleepScheduled(PbbfParams::new(p, q).expect("valid sweep")),
+                seed: mix(seed, (pi as u64) << 32 | qi as u64),
+            });
+        }
+    }
+    let baselines = [
+        ("PSM", NetMode::SleepScheduled(PbbfParams::PSM)),
+        ("NO PSM", NetMode::AlwaysOn),
+    ];
+    for (label, mode) in baselines {
+        // Shifted past the (pi << 32 | qi) PBBF salts (like delta_sweep)
+        // so baseline runs never reuse a PBBF point's per-run seeds.
+        points.push(NetPoint {
+            cfg,
+            mode,
+            seed: mix(seed, (label.len() as u64) << 40),
+        });
+    }
+    let cis = run_points(effort, &points, &metric);
+
+    let mut series = Vec::new();
+    let mut cursor = cis.iter();
+    for &p in &NET_P_VALUES {
+        let mut s = Series::new(format!("PBBF-{p}"));
+        for &q in &qs {
+            if let Some(ci) = cursor.next().expect("one interval per point") {
                 s.push_with_err(q, ci.mean, ci.half_width);
             }
         }
         series.push(s);
     }
-    for (label, mode) in [
-        ("PSM", NetMode::SleepScheduled(PbbfParams::PSM)),
-        ("NO PSM", NetMode::AlwaysOn),
-    ] {
+    for (label, _) in baselines {
         let mut s = Series::new(label);
-        if let Some(ci) = run_point(cfg, mode, effort, mix(seed, label.len() as u64), &metric) {
+        if let Some(ci) = cursor.next().expect("one interval per point") {
             for &q in &qs {
                 s.push_with_err(q, ci.mean, ci.half_width);
             }
@@ -92,29 +124,42 @@ fn delta_sweep(
     seed: u64,
     metric: impl Fn(&NetRunStats) -> Option<f64> + Sync,
 ) -> Vec<Series> {
-    let mut series = Vec::new();
     let p_values = [0.05, 0.1, 0.25];
+    let mut points = Vec::new();
     for (pi, &p) in p_values.iter().enumerate() {
-        let mut s = Series::new(format!("PBBF-{p}"));
         for (di, &delta) in DELTA_VALUES.iter().enumerate() {
-            let cfg = net_config(effort, delta);
-            let mode = NetMode::SleepScheduled(PbbfParams::new(p, FIXED_Q).expect("valid"));
-            let point_seed = mix(seed, (pi as u64) << 32 | di as u64);
-            if let Some(ci) = run_point(cfg, mode, effort, point_seed, &metric) {
-                s.push_with_err(delta, ci.mean, ci.half_width);
-            }
+            points.push(NetPoint {
+                cfg: net_config(effort, delta),
+                mode: NetMode::SleepScheduled(PbbfParams::new(p, FIXED_Q).expect("valid")),
+                seed: mix(seed, (pi as u64) << 32 | di as u64),
+            });
         }
-        series.push(s);
     }
-    for (label, mode) in [
+    let baselines = [
         ("PSM", NetMode::SleepScheduled(PbbfParams::PSM)),
         ("NO PSM", NetMode::AlwaysOn),
-    ] {
-        let mut s = Series::new(label);
+    ];
+    for (label, mode) in baselines {
         for (di, &delta) in DELTA_VALUES.iter().enumerate() {
-            let cfg = net_config(effort, delta);
-            let point_seed = mix(seed, (label.len() as u64) << 40 | di as u64);
-            if let Some(ci) = run_point(cfg, mode, effort, point_seed, &metric) {
+            points.push(NetPoint {
+                cfg: net_config(effort, delta),
+                mode,
+                seed: mix(seed, (label.len() as u64) << 40 | di as u64),
+            });
+        }
+    }
+    let cis = run_points(effort, &points, &metric);
+
+    let mut series = Vec::new();
+    let mut cursor = cis.iter();
+    let labels = p_values
+        .iter()
+        .map(|p| format!("PBBF-{p}"))
+        .chain(baselines.iter().map(|(l, _)| (*l).to_string()));
+    for label in labels {
+        let mut s = Series::new(label);
+        for &delta in &DELTA_VALUES {
+            if let Some(ci) = cursor.next().expect("one interval per point") {
                 s.push_with_err(delta, ci.mean, ci.half_width);
             }
         }

@@ -4,7 +4,9 @@ use pbbf_core::adaptive::AdaptiveController;
 use pbbf_core::ForwardDecision;
 use pbbf_des::{EventQueue, SimDuration, SimRng, SimTime};
 use pbbf_mac::{BackoffPolicy, DataIntent, MacState, PsmTiming};
-use pbbf_radio::{Channel, EnergyMeter, Frame, FrameKind, RadioState};
+use pbbf_radio::{
+    BruteChannel, Channel, CollisionChannel, Delivery, EnergyMeter, Frame, FrameKind, RadioState,
+};
 use pbbf_topology::{NodeId, RandomDeployment};
 
 use crate::{NetConfig, NetMode, NetRunStats};
@@ -48,6 +50,28 @@ impl NetSim {
     /// `config.max_deploy_attempts` (raise Δ or the attempt budget).
     #[must_use]
     pub fn run(&self, seed: u64) -> NetRunStats {
+        self.run_with(seed, Channel::new)
+    }
+
+    /// [`NetSim::run`] over the reference [`BruteChannel`] instead of the
+    /// incremental engine. Kept for the channel-equivalence tests and the
+    /// baseline benches — results must be identical to [`NetSim::run`]
+    /// for every seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no connected deployment can be drawn within
+    /// `config.max_deploy_attempts` (raise Δ or the attempt budget).
+    #[must_use]
+    pub fn run_brute(&self, seed: u64) -> NetRunStats {
+        self.run_with(seed, BruteChannel::new)
+    }
+
+    fn run_with<C: CollisionChannel>(
+        &self,
+        seed: u64,
+        channel: impl FnOnce(pbbf_topology::Topology) -> C,
+    ) -> NetRunStats {
         let root = SimRng::new(seed);
         let mut deploy_rng = root.substream(0);
         let deployment = RandomDeployment::connected_with_density(
@@ -61,7 +85,13 @@ impl NetSim {
         let mut source_rng = root.substream(1);
         let source = NodeId(source_rng.below(self.config.nodes as u64) as u32);
 
-        let mut runner = Runner::new(&self.config, self.mode, deployment, source, &root);
+        let mut runner = Runner::new(
+            &self.config,
+            self.mode,
+            channel(deployment.into_topology()),
+            source,
+            &root,
+        );
         runner.prime();
         runner.drain();
         runner.into_stats()
@@ -95,7 +125,7 @@ struct NodeRt {
     known_snapshot: u64,
 }
 
-struct Runner {
+struct Runner<C: CollisionChannel> {
     psm: bool,
     adaptive: bool,
     k: usize,
@@ -105,12 +135,15 @@ struct Runner {
     atim_air: SimDuration,
     update_period: SimDuration,
     duration: SimTime,
-    channel: Channel,
+    channel: C,
     nodes: Vec<NodeRt>,
     queue: EventQueue<Ev>,
     source: NodeId,
     gen_times: Vec<SimTime>,
     receptions: Vec<Vec<Option<SimTime>>>,
+    /// Reused per-`end_tx` delivery buffer: the channel writes into it so
+    /// the steady-state event loop makes no delivery allocations.
+    deliveries: Vec<Delivery>,
     data_tx: u64,
     atim_tx: u64,
     immediate_tx: u64,
@@ -119,14 +152,8 @@ struct Runner {
     adaptive_trace: Vec<(f64, f64)>,
 }
 
-impl Runner {
-    fn new(
-        cfg: &NetConfig,
-        mode: NetMode,
-        deployment: RandomDeployment,
-        source: NodeId,
-        root: &SimRng,
-    ) -> Self {
+impl<C: CollisionChannel> Runner<C> {
+    fn new(cfg: &NetConfig, mode: NetMode, channel: C, source: NodeId, root: &SimRng) -> Self {
         let params = match mode {
             NetMode::AlwaysOn => pbbf_core::PbbfParams::ALWAYS_ON,
             NetMode::SleepScheduled(p) => p,
@@ -151,6 +178,11 @@ impl Runner {
             })
             .collect();
         let phy = cfg.phy;
+        // One row per generated update lands in `gen_times`/`receptions`;
+        // pre-size them so the steady-state loop never reallocates.
+        let expected_updates = cfg.expected_updates() as usize;
+        // Degree ≈ Δ bounds the per-`end_tx` delivery count.
+        let expected_degree = cfg.delta.ceil() as usize + 1;
         Self {
             psm: !matches!(mode, NetMode::AlwaysOn),
             adaptive: matches!(mode, NetMode::Adaptive(_)),
@@ -164,12 +196,13 @@ impl Runner {
             atim_air: phy.airtime(phy.atim_bytes),
             update_period: SimDuration::from_secs(1.0 / cfg.lambda),
             duration: SimTime::from_secs(cfg.duration_secs),
-            channel: Channel::new(deployment.into_topology()),
+            channel,
             nodes,
             queue: EventQueue::new(),
             source,
-            gen_times: Vec::new(),
-            receptions: Vec::new(),
+            gen_times: Vec::with_capacity(expected_updates),
+            receptions: Vec::with_capacity(expected_updates),
+            deliveries: Vec::with_capacity(expected_degree),
             data_tx: 0,
             atim_tx: 0,
             immediate_tx: 0,
@@ -406,13 +439,18 @@ impl Runner {
     }
 
     fn on_tx_end(&mut self, now: SimTime, i: usize) {
-        let (frame, deliveries) = self.channel.end_tx(now, NodeId(i as u32));
+        // Take the buffer so the channel and node state can be borrowed
+        // together; it goes back (with its capacity) at the end.
+        let mut deliveries = std::mem::take(&mut self.deliveries);
+        let frame = self
+            .channel
+            .end_tx_into(now, NodeId(i as u32), &mut deliveries);
         self.nodes[i].meter.set_state(now, RadioState::Idle);
         match frame.kind {
             FrameKind::Beacon => {}
             FrameKind::Atim { .. } => {
                 self.atim_tx += 1;
-                for d in deliveries {
+                for d in &deliveries {
                     let r = d.receiver.index();
                     if !self.nodes[r].awake || self.nodes[r].awake_since > d.started {
                         continue;
@@ -432,7 +470,7 @@ impl Runner {
                 } else {
                     self.nodes[i].mac.mark_normal_sent();
                 }
-                for d in deliveries {
+                for d in &deliveries {
                     let r = d.receiver.index();
                     if !self.nodes[r].awake || self.nodes[r].awake_since > d.started {
                         continue;
@@ -462,6 +500,7 @@ impl Runner {
                 }
             }
         }
+        self.deliveries = deliveries;
     }
 
     fn into_stats(self) -> NetRunStats {
@@ -656,6 +695,23 @@ mod tests {
             late_q > early_q,
             "detected holes must raise q: {early_q} -> {late_q}"
         );
+    }
+
+    #[test]
+    fn incremental_channel_matches_brute_reference() {
+        // Whole-run equivalence: the incremental engine and the brute
+        // reference must produce identical stats for every seed, including
+        // a dense (Δ = 18) contention-heavy scenario.
+        for seed in [1, 7, 42] {
+            let sim = NetSim::new(cfg(300.0), pbbf(0.5, 0.5));
+            assert_eq!(sim.run(seed), sim.run_brute(seed), "seed {seed}");
+        }
+        let mut dense = cfg(300.0);
+        dense.delta = 18.0;
+        let sim = NetSim::new(dense, NetMode::AlwaysOn);
+        let s = sim.run(8);
+        assert_eq!(s, sim.run_brute(8));
+        assert!(s.collisions > 0, "contention exercised the collision path");
     }
 
     #[test]

@@ -5,7 +5,11 @@ use pbbf_metrics::Summary;
 use pbbf_topology::NodeId;
 
 /// Everything measured during one seeded run of the realistic simulator.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field exactly (including the `f64` vectors
+/// bitwise-equal-or-not) — the channel-equivalence and determinism tests
+/// rely on that strictness.
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetRunStats {
     /// The randomly chosen source node.
     pub source: NodeId,

@@ -114,6 +114,29 @@ where
     par_map((0..n).collect(), f)
 }
 
+/// Point-level fan-out: runs `f(group, run)` for every pair in
+/// `0..groups × 0..runs` as **one flat job list** (so all groups' runs
+/// schedule together and saturate many-core boxes even when a single
+/// group has few runs), then regroups the results: `out[g][r] = f(g, r)`.
+///
+/// Grouping preserves run order within each group, so a per-group fold
+/// over `out[g]` is bitwise identical to the sequential
+/// group-by-group/run-by-run loop regardless of thread count. `runs == 0`
+/// yields `groups` empty vectors.
+pub fn par_run_grouped<R, F>(groups: usize, runs: usize, f: F) -> Vec<Vec<R>>
+where
+    R: Send,
+    F: Fn(usize, usize) -> R + Sync,
+{
+    let jobs: Vec<(usize, usize)> = (0..groups)
+        .flat_map(|g| (0..runs).map(move |r| (g, r)))
+        .collect();
+    let mut flat = par_map(jobs, |(g, r)| f(g, r)).into_iter();
+    (0..groups)
+        .map(|_| flat.by_ref().take(runs).collect())
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +167,17 @@ mod tests {
         for (idx, (i, _)) in out.iter().enumerate() {
             assert_eq!(idx, *i);
         }
+    }
+
+    #[test]
+    fn grouped_runs_regroup_in_order() {
+        let out = par_run_grouped(3, 4, |g, r| 10 * g + r);
+        assert_eq!(
+            out,
+            vec![vec![0, 1, 2, 3], vec![10, 11, 12, 13], vec![20, 21, 22, 23]]
+        );
+        assert_eq!(par_run_grouped(2, 0, |_, r| r), vec![vec![], vec![]]);
+        assert_eq!(par_run_grouped(0, 5, |g, _| g), Vec::<Vec<usize>>::new());
     }
 
     #[test]

@@ -1,25 +1,16 @@
-//! The shared broadcast medium with collisions and interference.
+//! The original O(active × degree) collision channel, kept as the
+//! reference implementation (the `unit_disk_edges_brute` trick): the
+//! incremental [`Channel`](super::Channel) must match it bit-for-bit, and
+//! the randomized-schedule property tests plus the whole-run equivalence
+//! tests in `pbbf-net-sim` prove it.
 
 use std::collections::HashSet;
 
 use pbbf_des::{SimDuration, SimTime};
 use pbbf_topology::{NodeId, Topology};
 
+use super::{CollisionChannel, Delivery};
 use crate::Frame;
-
-/// One potential reception reported at the end of a transmission.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Delivery {
-    /// The neighbor the frame propagated to.
-    pub receiver: NodeId,
-    /// Whether the frame arrived uncorrupted (no overlapping transmission
-    /// audible at the receiver, and the receiver was not itself
-    /// transmitting). The MAC must additionally check the receiver was
-    /// awake for the whole airtime.
-    pub clean: bool,
-    /// When the transmission began (for awake-span checks).
-    pub started: SimTime,
-}
 
 #[derive(Debug, Clone)]
 struct Active {
@@ -29,41 +20,23 @@ struct Active {
     corrupted: HashSet<NodeId>,
 }
 
-/// The broadcast channel: unit-disk propagation over a [`Topology`] with
-/// a no-capture collision model.
+/// The reference broadcast channel: same collision model as
+/// [`Channel`](super::Channel), implemented the obvious way — a flat list
+/// of in-flight transmissions, each carrying a `HashSet` of corrupted
+/// receivers, rescanned by every query and update.
 ///
-/// * Every transmission reaches exactly the transmitter's neighbors.
-/// * Two transmissions that overlap in time corrupt each other at every
-///   receiver that can hear both (including hidden-terminal collisions,
-///   where the two transmitters cannot hear each other).
-/// * A radio cannot receive while transmitting.
-///
-/// The channel is driven by the MAC: [`Channel::begin_tx`] when a
-/// transmission starts, [`Channel::end_tx`] when it completes (the caller
-/// schedules the end event `airtime` later); `end_tx` reports per-neighbor
-/// [`Delivery`] outcomes.
-///
-/// # Examples
-///
-/// ```
-/// use pbbf_des::{SimDuration, SimTime};
-/// use pbbf_radio::{Channel, Frame};
-/// use pbbf_topology::{Grid, NodeId};
-///
-/// let mut ch = Channel::new(Grid::new(1, 3, 1.0).into_topology());
-/// let t0 = SimTime::ZERO;
-/// let end = ch.begin_tx(t0, Frame::beacon(NodeId(0)), SimDuration::from_millis(10));
-/// let (frame, deliveries) = ch.end_tx(end, NodeId(0));
-/// assert_eq!(frame.src, NodeId(0));
-/// assert!(deliveries.iter().all(|d| d.clean));
-/// ```
+/// `begin_tx` walks all in-flight transmissions times the transmitter's
+/// neighborhood and allocates a corruption set per transmission;
+/// `carrier_busy`, `is_transmitting`, and `end_tx` all rescan the whole
+/// active list. Kept for property tests and benches only — the simulators
+/// use the incremental engine.
 #[derive(Debug, Clone)]
-pub struct Channel {
+pub struct BruteChannel {
     topology: Topology,
     active: Vec<Active>,
 }
 
-impl Channel {
+impl BruteChannel {
     /// Creates a channel over `topology`.
     #[must_use]
     pub fn new(topology: Topology) -> Self {
@@ -101,7 +74,7 @@ impl Channel {
     }
 
     /// Starts a transmission of `frame` lasting `duration`; returns the
-    /// end time the caller must schedule [`Channel::end_tx`] at.
+    /// end time the caller must schedule [`BruteChannel::end_tx`] at.
     ///
     /// Collision bookkeeping happens here: the new transmission corrupts,
     /// and is corrupted by, every overlapping transmission at each common
@@ -151,6 +124,19 @@ impl Channel {
     /// Panics if `src` has no transmission in flight or `now` is not its
     /// scheduled end time (both indicate MAC/event-loop bugs).
     pub fn end_tx(&mut self, now: SimTime, src: NodeId) -> (Frame, Vec<Delivery>) {
+        let mut out = Vec::new();
+        let frame = self.end_tx_into(now, src, &mut out);
+        (frame, out)
+    }
+
+    /// [`BruteChannel::end_tx`] writing into a caller-provided buffer
+    /// (cleared first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` has no transmission in flight or `now` is not its
+    /// scheduled end time.
+    pub fn end_tx_into(&mut self, now: SimTime, src: NodeId, out: &mut Vec<Delivery>) -> Frame {
         let idx = self
             .active
             .iter()
@@ -158,17 +144,39 @@ impl Channel {
             .unwrap_or_else(|| panic!("{src} has no transmission in flight"));
         let active = self.active.swap_remove(idx);
         assert_eq!(active.end, now, "end_tx at the wrong time for {src}");
-        let deliveries = self
-            .topology
-            .neighbors(src)
-            .iter()
-            .map(|&r| Delivery {
-                receiver: r,
-                clean: !active.corrupted.contains(&r) && !self.is_transmitting(r),
-                started: active.start,
-            })
-            .collect();
-        (active.frame, deliveries)
+        out.clear();
+        out.extend(self.topology.neighbors(src).iter().map(|&r| Delivery {
+            receiver: r,
+            clean: !active.corrupted.contains(&r) && !self.is_transmitting(r),
+            started: active.start,
+        }));
+        active.frame
+    }
+}
+
+impl CollisionChannel for BruteChannel {
+    fn topology(&self) -> &Topology {
+        BruteChannel::topology(self)
+    }
+
+    fn carrier_busy(&self, node: NodeId) -> bool {
+        BruteChannel::carrier_busy(self, node)
+    }
+
+    fn is_transmitting(&self, node: NodeId) -> bool {
+        BruteChannel::is_transmitting(self, node)
+    }
+
+    fn active_count(&self) -> usize {
+        BruteChannel::active_count(self)
+    }
+
+    fn begin_tx(&mut self, now: SimTime, frame: Frame, duration: SimDuration) -> SimTime {
+        BruteChannel::begin_tx(self, now, frame, duration)
+    }
+
+    fn end_tx_into(&mut self, now: SimTime, src: NodeId, out: &mut Vec<Delivery>) -> Frame {
+        BruteChannel::end_tx_into(self, now, src, out)
     }
 }
 
@@ -192,7 +200,7 @@ mod tests {
 
     #[test]
     fn clean_delivery_to_all_neighbors() {
-        let mut ch = Channel::new(line(3));
+        let mut ch = BruteChannel::new(line(3));
         let end = ch.begin_tx(t(0.0), Frame::beacon(NodeId(1)), d(0.01));
         assert!(ch.carrier_busy(NodeId(0)));
         assert!(ch.carrier_busy(NodeId(2)));
@@ -205,7 +213,7 @@ mod tests {
     #[test]
     fn overlapping_neighbors_collide() {
         // 0 - 1 - 2: nodes 0 and 2 both transmit; node 1 hears a collision.
-        let mut ch = Channel::new(line(3));
+        let mut ch = BruteChannel::new(line(3));
         let e0 = ch.begin_tx(t(0.0), Frame::beacon(NodeId(0)), d(0.02));
         let e2 = ch.begin_tx(t(0.01), Frame::beacon(NodeId(2)), d(0.02));
         let (_, d0) = ch.end_tx(e0, NodeId(0));
@@ -224,7 +232,7 @@ mod tests {
     #[test]
     fn transmitter_cannot_receive() {
         // 0 - 1: both transmit concurrently; neither receives the other.
-        let mut ch = Channel::new(line(2));
+        let mut ch = BruteChannel::new(line(2));
         let e0 = ch.begin_tx(t(0.0), Frame::beacon(NodeId(0)), d(0.05));
         let e1 = ch.begin_tx(t(0.01), Frame::beacon(NodeId(1)), d(0.01));
         let (_, d1) = ch.end_tx(e1, NodeId(1));
@@ -235,31 +243,8 @@ mod tests {
     }
 
     #[test]
-    fn sequential_transmissions_are_clean() {
-        let mut ch = Channel::new(line(3));
-        let e0 = ch.begin_tx(t(0.0), Frame::beacon(NodeId(0)), d(0.01));
-        let (_, d0) = ch.end_tx(e0, NodeId(0));
-        assert!(d0.iter().all(|x| x.clean));
-        let e2 = ch.begin_tx(t(1.0), Frame::beacon(NodeId(2)), d(0.01));
-        let (_, d2) = ch.end_tx(e2, NodeId(2));
-        assert!(d2.iter().all(|x| x.clean));
-    }
-
-    #[test]
-    fn distant_transmitters_do_not_interfere() {
-        // 0-1-2-3-4: 0 and 4 transmit; 1 hears only 0, 3 hears only 4.
-        let mut ch = Channel::new(line(5));
-        let e0 = ch.begin_tx(t(0.0), Frame::beacon(NodeId(0)), d(0.02));
-        let e4 = ch.begin_tx(t(0.0), Frame::beacon(NodeId(4)), d(0.02));
-        let (_, d0) = ch.end_tx(e0, NodeId(0));
-        assert!(d0.iter().find(|x| x.receiver == NodeId(1)).unwrap().clean);
-        let (_, d4) = ch.end_tx(e4, NodeId(4));
-        assert!(d4.iter().find(|x| x.receiver == NodeId(3)).unwrap().clean);
-    }
-
-    #[test]
     fn carrier_sense_scope() {
-        let mut ch = Channel::new(line(4));
+        let mut ch = BruteChannel::new(line(4));
         ch.begin_tx(t(0.0), Frame::beacon(NodeId(0)), d(0.1));
         assert!(ch.carrier_busy(NodeId(0)), "own transmission");
         assert!(ch.carrier_busy(NodeId(1)), "neighbor");
@@ -270,7 +255,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "already transmitting")]
     fn double_tx_panics() {
-        let mut ch = Channel::new(line(2));
+        let mut ch = BruteChannel::new(line(2));
         ch.begin_tx(t(0.0), Frame::beacon(NodeId(0)), d(0.1));
         ch.begin_tx(t(0.01), Frame::beacon(NodeId(0)), d(0.1));
     }
@@ -278,7 +263,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "no transmission in flight")]
     fn end_without_begin_panics() {
-        let mut ch = Channel::new(line(2));
+        let mut ch = BruteChannel::new(line(2));
         let _ = ch.end_tx(t(0.0), NodeId(0));
     }
 }

@@ -13,6 +13,11 @@
 //!   a [`Topology`](pbbf_topology::Topology), carrier sensing, and
 //!   collision/interference resolution (overlapping transmissions corrupt
 //!   each other at common receivers; a transmitting radio cannot receive).
+//!   An incremental engine (per-node carrier counters and
+//!   generation-stamped corruption marks over the CSR adjacency); the
+//!   original O(active × degree) implementation survives as
+//!   [`BruteChannel`] for property tests and benches, behind the shared
+//!   [`CollisionChannel`] trait.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +26,7 @@ mod channel;
 mod energy;
 mod frame;
 
-pub use channel::{Channel, Delivery};
+pub use channel::brute::BruteChannel;
+pub use channel::{Channel, CollisionChannel, Delivery};
 pub use energy::{EnergyMeter, RadioState};
 pub use frame::{Frame, FrameKind, Phy};

@@ -11,7 +11,7 @@
 //! process, so nothing else can race on it.
 
 use pbbf::prelude::*;
-use pbbf_experiments::{ext_gossip_vs_pbbf, fig04, fig06, fig13};
+use pbbf_experiments::{ext_gossip_vs_pbbf, ext_latency_tail, fig04, fig06, fig12, fig13, fig17};
 
 fn tiny_effort() -> Effort {
     let mut e = Effort::quick();
@@ -27,11 +27,18 @@ fn tiny_effort() -> Effort {
 }
 
 fn all_figures(effort: &Effort, seed: u64) -> Vec<Figure> {
+    // fig13 / fig17 / ext_latency_tail cover the point-level fan-out
+    // paths (whole q and Δ sweeps as one flat job list), fig12 the
+    // parallel Newman–Ziff threshold, fig04 / fig06 / ext_gossip_vs_pbbf
+    // the per-run fan-outs from PR 1.
     vec![
         fig04(effort, seed),
         fig06(effort, seed),
+        fig12(effort, seed),
         fig13(effort, seed),
+        fig17(effort, seed),
         ext_gossip_vs_pbbf(effort, seed),
+        ext_latency_tail(effort, seed),
     ]
 }
 
