@@ -2,11 +2,16 @@
 //! results are snapshotted into `BENCH_baseline.json` at the repo root so
 //! future optimization PRs have concrete numbers to beat.
 //!
-//! Regenerate the snapshot with:
+//! Regenerate the snapshot (from the workspace root; the path must be
+//! absolute because the bench binary runs in the package directory) with:
 //!
 //! ```text
-//! BENCH_OUTPUT_JSON=BENCH_baseline.json cargo bench --bench baseline
+//! BENCH_OUTPUT_JSON=$PWD/BENCH_baseline.json cargo bench -p pbbf-bench --bench baseline
 //! ```
+//!
+//! CI enforces this snapshot: the `bench-gate` job re-runs every kernel
+//! and `bench_check` fails the build when one is more than 30% slower
+//! than the committed numbers (see `crates/bench/src/check.rs`).
 //!
 //! Kernels:
 //!
@@ -24,6 +29,11 @@
 //!   reference (the PR-2 acceptance criterion is ≥2× here).
 //! * `net_sim_run_delta16` vs `net_sim_run_delta16_brute` — a dense
 //!   end-to-end run on each channel engine.
+//! * `net_sim_run_sparse_q05` vs `net_sim_run_sparse_q05_draw` — a
+//!   10k-node low-duty-cycle run on the active-set event loop, on a
+//!   cached deployment and with the per-run fresh draw respectively
+//!   (the PR-3 acceptance criterion is ≥2× on the cached kernel vs the
+//!   pre-active-set loop).
 //! * `fig06_quick_effort` — one full figure regeneration at quick effort.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
@@ -190,6 +200,38 @@ fn net_sim_run_dense(c: &mut Criterion) {
     c.bench_function("net_sim_run_delta16_brute", |b| b.iter(|| sim.run_brute(4)));
 }
 
+fn net_sim_run_sparse(c: &mut Criterion) {
+    // Where the event loop dominates: a large (10000 nodes),
+    // rare-traffic (λ = 0.002 — two updates in 600 s) network at a low
+    // duty cycle (q = 0.05). Most nodes sleep through most of the 60
+    // beacon intervals, so per-beacon cost is all about how much work
+    // the runner spends on idle nodes — the kernel the active-set loop
+    // is measured on.
+    //
+    // `net_sim_run_sparse_q05` is the steady-state sweep unit after this
+    // PR: one protocol-mode run on a deployment drawn once and shared
+    // through the `DeploymentCache` (at this scale the connected-
+    // deployment rejection sampling costs as much as the whole run).
+    // `net_sim_run_sparse_q05_draw` includes that fresh draw, the
+    // pre-cache cost of every run.
+    let mut cfg = NetConfig::table2();
+    cfg.nodes = 10_000;
+    cfg.duration_secs = 600.0;
+    cfg.delta = 10.0;
+    cfg.lambda = 0.002;
+    let deployment = NetSim::draw_deployment(&cfg, 4);
+    let sim = NetSim::new(
+        cfg,
+        NetMode::SleepScheduled(pbbf_core::PbbfParams::new(0.25, 0.05).expect("valid")),
+    );
+    let cached = sim.run_on(4, &deployment);
+    assert_eq!(cached, sim.run(4), "cached deployment must reproduce run");
+    c.bench_function("net_sim_run_sparse_q05", |b| {
+        b.iter(|| sim.run_on(4, &deployment))
+    });
+    c.bench_function("net_sim_run_sparse_q05_draw", |b| b.iter(|| sim.run(4)));
+}
+
 fn figure_quick(c: &mut Criterion) {
     let effort = Effort::quick();
     c.bench_function("fig06_quick_effort", |b| b.iter(|| fig06(&effort, 2005)));
@@ -202,6 +244,6 @@ criterion_group! {
         .measurement_time(std::time::Duration::from_secs(3))
         .warm_up_time(std::time::Duration::from_millis(300));
     targets = deployment_edges, deployment_build_10k, event_queue_churn, channel_churn_dense,
-        net_sim_run, net_sim_run_dense, figure_quick
+        net_sim_run, net_sim_run_dense, net_sim_run_sparse, figure_quick
 }
 criterion_main!(baseline);

@@ -1,0 +1,62 @@
+//! CI's bench-regression gate.
+//!
+//! ```text
+//! bench_check <BENCH_baseline.json> <fresh.json> [--tolerance 1.3]
+//! ```
+//!
+//! Exits non-zero when any kernel in the baseline is more than
+//! `tolerance ×` slower in the fresh run, or missing from it. See
+//! [`pbbf_bench::check`] for the comparison rules.
+
+use pbbf_bench::check::{check_ratios, compare, render, BenchReport, RATIO_RULES};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench_check: {msg}");
+    eprintln!("usage: bench_check <baseline.json> <fresh.json> [--tolerance 1.3]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tolerance: f64 = 1.3;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--tolerance" {
+            let v = it
+                .next()
+                .unwrap_or_else(|| fail("--tolerance needs a value"));
+            tolerance = v
+                .parse()
+                .unwrap_or_else(|_| fail(&format!("bad tolerance `{v}`")));
+            if !(tolerance.is_finite() && tolerance >= 1.0) {
+                fail(&format!("tolerance {tolerance} must be >= 1"));
+            }
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        fail("expected exactly two JSON paths");
+    };
+
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")))
+    };
+    let baseline = BenchReport::parse(&read(baseline_path))
+        .unwrap_or_else(|e| fail(&format!("{baseline_path}: {e}")));
+    let fresh = BenchReport::parse(&read(fresh_path))
+        .unwrap_or_else(|e| fail(&format!("{fresh_path}: {e}")));
+
+    let verdicts = compare(&baseline, &fresh, tolerance);
+    let (report, pass) = render(&verdicts, tolerance);
+    print!("{report}");
+    // Hardware-independent invariants within the fresh run: fast kernels
+    // must stay decisively ahead of their reference counterparts even on
+    // runners whose absolute times drift from the committed baseline's.
+    let (ratio_report, ratios_pass) = check_ratios(&fresh, RATIO_RULES);
+    print!("{ratio_report}");
+    if !pass || !ratios_pass {
+        std::process::exit(1);
+    }
+}

@@ -30,3 +30,5 @@ pub fn print_exhibit(id: &str, text: &str) {
     println!("\n===== reproduced {id} (bench effort) =====");
     println!("{text}");
 }
+
+pub mod check;

@@ -72,7 +72,25 @@ macro_rules! int_range_strategy {
         }
     )*};
 }
-int_range_strategy!(u32, u64, usize);
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+/// Tuples of strategies generate tuples of values (the upstream crate's
+/// tuple composition, for the common `(index, kind, payload)` shapes).
+macro_rules! tuple_strategy {
+    ($($name:ident),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)*) = self;
+                ($($name.generate(rng),)*)
+            }
+        }
+    };
+}
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
 
 impl Strategy for Range<f64> {
     type Value = f64;

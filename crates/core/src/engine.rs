@@ -93,6 +93,7 @@ impl<R: RngCore> PbbfEngine<R> {
     /// Pending traffic (`data_to_send` — e.g. a queued or announced packet;
     /// `data_to_recv` — e.g. an ATIM received in the window) forces the
     /// radio on deterministically; only otherwise is the `q` coin tossed.
+    #[inline]
     pub fn stay_on_after_active(&mut self, data_to_send: bool, data_to_recv: bool) -> bool {
         if data_to_send || data_to_recv {
             return true;
@@ -102,6 +103,7 @@ impl<R: RngCore> PbbfEngine<R> {
 
     /// Bernoulli draw with exact 0/1 edge cases (PSM and always-on must be
     /// deterministic, not "almost surely").
+    #[inline]
     fn chance(&mut self, p: f64) -> bool {
         if p <= 0.0 {
             return false;

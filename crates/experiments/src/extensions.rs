@@ -17,7 +17,7 @@ use pbbf_core::PbbfParams;
 use pbbf_des::SimRng;
 use pbbf_ideal_sim::{IdealConfig, IdealSim, Mode};
 use pbbf_metrics::{Figure, Histogram, Series};
-use pbbf_net_sim::{NetConfig, NetMode, NetSim};
+use pbbf_net_sim::{DeploymentCache, NetConfig, NetMode, NetSim};
 use pbbf_percolation::NewmanZiff;
 use pbbf_topology::Grid;
 
@@ -159,10 +159,15 @@ pub fn ext_latency_tail(effort: &Effort, seed: u64) -> Figure {
     let mut p99 = Series::new("p99");
     // Point-level fan-out: all (q, run) jobs schedule together; per-q
     // histograms fold in run order, so percentiles are thread-count
-    // invariant.
+    // invariant. Run r's deployment is shared across the q points via
+    // the cache (the q sweep compares operating points on identical
+    // scenarios).
+    let cache = DeploymentCache::new();
+    let deploy_seed = mix(seed, crate::net_figs::DEPLOY_SALT);
     let all_stats = pbbf_parallel::par_run_grouped(qs.len(), effort.runs as usize, |qi, r| {
         let mode = NetMode::SleepScheduled(PbbfParams::new(0.5, qs[qi]).expect("valid"));
-        NetSim::new(cfg, mode).run(mix(seed, (qi as u64) << 32 | r as u64))
+        let deployment = cache.get_or_draw(&cfg, mix(deploy_seed, r as u64));
+        NetSim::new(cfg, mode).run_on(mix(seed, (qi as u64) << 32 | r as u64), &deployment)
     });
     for (&q, point_stats) in qs.iter().zip(&all_stats) {
         let mut hist = Histogram::new(0.0, 120.0, 240);
@@ -205,14 +210,19 @@ pub fn ext_k_tradeoff(effort: &Effort, seed: u64) -> Figure {
     let mut ratio = Series::new("delivery ratio");
     let mut payload = Series::new("update payloads per packet");
     // Point-level fan-out: every (k, run) job schedules together; per-k
-    // sums fold in run order (thread-count invariant).
+    // sums fold in run order (thread-count invariant). `k` does not
+    // enter the deployment geometry, so run r's scenario is drawn once
+    // and shared across the whole k sweep.
+    let cache = DeploymentCache::new();
+    let deploy_seed = mix(seed, crate::net_figs::DEPLOY_SALT);
     let ratios = pbbf_parallel::par_run_grouped(ks.len(), effort.runs as usize, |ki, r| {
         let mut cfg = NetConfig::table2();
         cfg.duration_secs = effort.net_duration_secs;
         cfg.k = ks[ki];
         let mode = NetMode::SleepScheduled(PbbfParams::new(0.5, 0.25).expect("valid"));
+        let deployment = cache.get_or_draw(&cfg, mix(deploy_seed, r as u64));
         NetSim::new(cfg, mode)
-            .run(mix(seed, (ki as u64) << 32 | r as u64))
+            .run_on(mix(seed, (ki as u64) << 32 | r as u64), &deployment)
             .mean_delivery_ratio()
     });
     for (&k, point_ratios) in ks.iter().zip(&ratios) {

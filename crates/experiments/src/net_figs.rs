@@ -2,9 +2,15 @@
 
 use pbbf_core::PbbfParams;
 use pbbf_metrics::{ConfidenceInterval, Figure, Series, Summary};
-use pbbf_net_sim::{NetConfig, NetMode, NetRunStats, NetSim};
+use pbbf_net_sim::{DeploymentCache, NetConfig, NetMode, NetRunStats, NetSim};
 
 use crate::Effort;
+
+/// Salt of the deployment-seed stream. Every protocol mode of a sweep
+/// shares run `r`'s deployment `mix(mix(seed, DEPLOY_SALT), r)` — drawn
+/// once via the [`DeploymentCache`] and reused, and a paired comparison
+/// methodologically: modes are measured on identical scenarios.
+pub(crate) const DEPLOY_SALT: u64 = 0x00DE_F10E_0D5A_17E5;
 
 /// The `p` values of the paper's Section-5 legends (Figs 13–16).
 pub(crate) const NET_P_VALUES: [f64; 4] = [0.05, 0.1, 0.25, 0.5];
@@ -29,11 +35,13 @@ fn net_config(effort: &Effort, delta: f64) -> NetConfig {
     cfg
 }
 
-/// One sweep point: a scenario, a protocol mode, and the point's seed.
+/// One sweep point: a scenario, a protocol mode, the point's seed, and
+/// the sweep-wide deployment-seed base it shares with the other modes.
 struct NetPoint {
     cfg: NetConfig,
     mode: NetMode,
     seed: u64,
+    deploy_seed: u64,
 }
 
 /// Runs a whole sweep's Monte Carlo batch as one flat `(point, run)` job
@@ -43,14 +51,21 @@ struct NetPoint {
 /// Each job's RNG stream depends only on `(point seed, run index)` and
 /// per-point summaries fold in run order, so results are bitwise
 /// identical to the sequential per-point loop for any thread count.
+/// Deployments come from a sweep-local [`DeploymentCache`]: every point
+/// with the same geometry reuses run `r`'s connected deployment instead
+/// of redrawing it per protocol mode (the cached draw is a pure function
+/// of `(deployment seed, geometry)`, so the sharing preserves
+/// thread-count invariance).
 fn run_points(
     effort: &Effort,
     points: &[NetPoint],
     metric: &(impl Fn(&NetRunStats) -> Option<f64> + Sync),
 ) -> Vec<Option<ConfidenceInterval>> {
+    let cache = DeploymentCache::new();
     let vals = pbbf_parallel::par_run_grouped(points.len(), effort.runs as usize, |pi, r| {
         let pt = &points[pi];
-        metric(&NetSim::new(pt.cfg, pt.mode).run(mix(pt.seed, r as u64)))
+        let deployment = cache.get_or_draw(&pt.cfg, mix(pt.deploy_seed, r as u64));
+        metric(&NetSim::new(pt.cfg, pt.mode).run_on(mix(pt.seed, r as u64), &deployment))
     });
     vals.into_iter()
         .map(|point_vals| {
@@ -69,6 +84,7 @@ fn q_sweep(
 ) -> Vec<Series> {
     let qs = effort.q_values();
     let cfg = net_config(effort, NetConfig::table2().delta);
+    let deploy_seed = mix(seed, DEPLOY_SALT);
     let mut points = Vec::new();
     for (pi, &p) in NET_P_VALUES.iter().enumerate() {
         for (qi, &q) in qs.iter().enumerate() {
@@ -76,6 +92,7 @@ fn q_sweep(
                 cfg,
                 mode: NetMode::SleepScheduled(PbbfParams::new(p, q).expect("valid sweep")),
                 seed: mix(seed, (pi as u64) << 32 | qi as u64),
+                deploy_seed,
             });
         }
     }
@@ -90,6 +107,7 @@ fn q_sweep(
             cfg,
             mode,
             seed: mix(seed, (label.len() as u64) << 40),
+            deploy_seed,
         });
     }
     let cis = run_points(effort, &points, &metric);
@@ -125,6 +143,7 @@ fn delta_sweep(
     metric: impl Fn(&NetRunStats) -> Option<f64> + Sync,
 ) -> Vec<Series> {
     let p_values = [0.05, 0.1, 0.25];
+    let deploy_seed = mix(seed, DEPLOY_SALT);
     let mut points = Vec::new();
     for (pi, &p) in p_values.iter().enumerate() {
         for (di, &delta) in DELTA_VALUES.iter().enumerate() {
@@ -132,6 +151,7 @@ fn delta_sweep(
                 cfg: net_config(effort, delta),
                 mode: NetMode::SleepScheduled(PbbfParams::new(p, FIXED_Q).expect("valid")),
                 seed: mix(seed, (pi as u64) << 32 | di as u64),
+                deploy_seed,
             });
         }
     }
@@ -145,6 +165,7 @@ fn delta_sweep(
                 cfg: net_config(effort, delta),
                 mode,
                 seed: mix(seed, (label.len() as u64) << 40 | di as u64),
+                deploy_seed,
             });
         }
     }

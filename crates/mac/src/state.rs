@@ -12,6 +12,24 @@ pub enum DataIntent {
     Immediate,
 }
 
+/// Which beacon-boundary handlers need to process a node eagerly — the
+/// membership signal for an active-set event loop (see
+/// `pbbf-net-sim`'s runner). Recomputed from the MAC flags at every
+/// transition point (`source_update`, `receive_data`, `mark_*_sent`,
+/// `begin_frame`, `announce_now`); a node with neither bit set can be
+/// skipped at every beacon boundary and replayed lazily.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PendingWork {
+    /// The node must be processed at the next frame start: it has a
+    /// queued announce or an unsent normal broadcast to (re-)contend an
+    /// ATIM for.
+    pub frame_start: bool,
+    /// The node must be processed at the next ATIM-window end: it has
+    /// pending normal or immediate data whose transmission attempts are
+    /// scheduled there.
+    pub window_end: bool,
+}
+
 /// One node's MAC/application state for the code-distribution workload.
 ///
 /// Tracks the update ids the node knows, the pending
@@ -50,8 +68,6 @@ pub struct MacState {
     send_normal: bool,
     /// An immediate broadcast awaits transmission.
     send_immediate: bool,
-    /// The node completed its normal data transmission this interval.
-    sent_normal_this_frame: bool,
     /// An ATIM was heard in the current window (`DataToRecv`).
     atim_received: bool,
 }
@@ -67,7 +83,6 @@ impl MacState {
             announce_pending: false,
             send_normal: false,
             send_immediate: false,
-            sent_normal_this_frame: false,
             atim_received: false,
         }
     }
@@ -103,33 +118,46 @@ impl MacState {
     }
 
     /// Whether this node wants to send an ATIM at the next window.
+    #[inline]
     #[must_use]
     pub fn wants_announce(&self) -> bool {
         self.announce_pending || self.send_normal
     }
 
     /// Whether a normal data send is pending in the current interval.
+    #[inline]
     #[must_use]
     pub fn has_pending_normal(&self) -> bool {
         self.send_normal
     }
 
     /// Whether an immediate data send is pending.
+    #[inline]
     #[must_use]
     pub fn has_pending_immediate(&self) -> bool {
         self.send_immediate
+    }
+
+    /// The node's current active-set membership (see [`PendingWork`]).
+    #[inline]
+    #[must_use]
+    pub fn pending_work(&self) -> PendingWork {
+        PendingWork {
+            frame_start: self.wants_announce(),
+            window_end: self.send_normal || self.send_immediate,
+        }
     }
 
     /// Called at every beacon-interval start. Promotes a pending announce
     /// into this interval's normal send and resets per-interval flags.
     /// Returns `true` if the node should contend to transmit an ATIM in
     /// this window.
+    #[inline]
     pub fn begin_frame(&mut self) -> bool {
         if self.announce_pending {
             self.announce_pending = false;
             self.send_normal = true;
         }
-        self.sent_normal_this_frame = false;
         self.atim_received = false;
         self.send_normal
     }
@@ -141,6 +169,7 @@ impl MacState {
 
     /// The Figure-3 `Sleep-Decision-Handler`, evaluated at the end of the
     /// ATIM window: `true` means stay awake for the data phase.
+    #[inline]
     pub fn sleep_decision(&mut self) -> bool {
         let data_to_send = self.send_normal || self.send_immediate;
         let data_to_recv = self.atim_received;
@@ -225,7 +254,6 @@ impl MacState {
     /// Marks the pending normal send as completed.
     pub fn mark_normal_sent(&mut self) {
         self.send_normal = false;
-        self.sent_normal_this_frame = true;
     }
 
     /// Marks the pending immediate send as completed.
@@ -390,5 +418,29 @@ mod tests {
     fn zero_k_panics() {
         let m = psm();
         let _ = m.packet_contents(0);
+    }
+
+    #[test]
+    fn pending_work_tracks_flags() {
+        let mut m = psm();
+        assert_eq!(m.pending_work(), PendingWork::default());
+        m.receive_data(&[1]);
+        // Announce queued: frame-start work only.
+        assert!(m.pending_work().frame_start);
+        assert!(!m.pending_work().window_end);
+        m.begin_frame();
+        // Promoted to a pending normal send: both handlers.
+        assert!(m.pending_work().frame_start);
+        assert!(m.pending_work().window_end);
+        m.mark_normal_sent();
+        assert_eq!(m.pending_work(), PendingWork::default());
+
+        let mut im = always_immediate();
+        im.receive_data(&[5]);
+        // Immediate sends never announce: window-end work only.
+        assert!(!im.pending_work().frame_start);
+        assert!(im.pending_work().window_end);
+        im.mark_immediate_sent();
+        assert_eq!(im.pending_work(), PendingWork::default());
     }
 }

@@ -74,6 +74,15 @@ impl PsmTiming {
         now.as_nanos() / self.beacon_interval.as_nanos()
     }
 
+    /// Start time of beacon interval `index` — the inverse of
+    /// [`PsmTiming::frame_index`]. Exact for any index: beacon boundaries
+    /// are integer-nanosecond multiples, so this equals the event loop's
+    /// repeated `+= beacon_interval` chain bit-for-bit.
+    #[must_use]
+    pub fn frame_time(&self, index: u64) -> SimTime {
+        SimTime::from_nanos(index * self.beacon_interval.as_nanos())
+    }
+
     /// Start of the beacon interval containing `now`.
     #[must_use]
     pub fn frame_start(&self, now: SimTime) -> SimTime {
@@ -131,6 +140,22 @@ mod tests {
         assert_eq!(t.frame_index(at(123.4)), 12);
         assert_eq!(t.frame_start(at(123.4)), at(120.0));
         assert_eq!(t.next_frame_start(at(123.4)), at(130.0));
+    }
+
+    #[test]
+    fn frame_time_matches_repeated_addition() {
+        // Fractional-nanosecond-free but non-round interval: the indexed
+        // form must equal the event loop's additive chain exactly.
+        let t = PsmTiming::new(
+            SimDuration::from_nanos(3_333_333_333),
+            SimDuration::from_nanos(123_456_789),
+        );
+        let mut chained = SimTime::ZERO;
+        for f in 0..1000 {
+            assert_eq!(t.frame_time(f), chained);
+            assert_eq!(t.frame_index(chained), f);
+            chained += t.beacon_interval();
+        }
     }
 
     #[test]

@@ -110,6 +110,7 @@ impl<const N: usize> StateClock<N> {
     /// # Panics
     ///
     /// Panics if `next >= N` or if `now` precedes the previous transition.
+    #[inline]
     pub fn transition(&mut self, now: f64, next: usize) {
         assert!(next < N, "state {next} out of range (N = {N})");
         assert!(

@@ -1,0 +1,197 @@
+//! Cross-run cache of connected deployments.
+//!
+//! Drawing a connected random deployment is rejection sampling: every
+//! [`NetSim`](crate::NetSim) run draws candidate deployments (an O(n + E)
+//! spatial-hash edge build plus a connectivity check each) until one
+//! connects. A Monte-Carlo sweep that compares several protocol modes on
+//! the same scenarios repeats that work once per mode; this cache keys
+//! the finished product — CSR topology plus the run's source-node draw —
+//! by `(deployment seed, geometry)` so each scenario is constructed once
+//! and shared.
+//!
+//! Determinism: the cached value is a pure function of the key (the draw
+//! consumes only substreams of the deployment seed), so concurrent
+//! lookups from a thread-pool fan-out return bitwise-identical
+//! deployments regardless of which worker populates the entry first —
+//! thread-count invariance is preserved.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use pbbf_topology::{NodeId, Topology};
+
+use crate::NetConfig;
+
+/// The geometry + seed identity of one deployment draw. Floats enter by
+/// bit pattern: two configs draw identical deployments iff their keys
+/// are equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct DeployKey {
+    seed: u64,
+    nodes: usize,
+    range_bits: u64,
+    delta_bits: u64,
+    max_attempts: u32,
+}
+
+impl DeployKey {
+    fn new(cfg: &NetConfig, seed: u64) -> Self {
+        Self {
+            seed,
+            nodes: cfg.nodes,
+            range_bits: cfg.range_m.to_bits(),
+            delta_bits: cfg.delta.to_bits(),
+            max_attempts: cfg.max_deploy_attempts,
+        }
+    }
+}
+
+/// One drawn scenario: the connected topology and the source node, as
+/// [`NetSim::run`](crate::NetSim::run) would draw them from the same
+/// seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedDeployment {
+    pub(crate) topology: Topology,
+    pub(crate) source: NodeId,
+}
+
+impl CachedDeployment {
+    /// The connected topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The drawn source node.
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+}
+
+/// A `(seed, Δ)`-keyed store of connected deployments, shared across the
+/// protocol modes (and runs) of a sweep.
+///
+/// # Examples
+///
+/// ```
+/// use pbbf_net_sim::{DeploymentCache, NetConfig, NetMode, NetSim};
+/// use pbbf_core::PbbfParams;
+///
+/// let mut cfg = NetConfig::table2();
+/// cfg.duration_secs = 50.0;
+/// let cache = DeploymentCache::new();
+/// // Same scenario, two protocol modes — one deployment draw.
+/// let psm_mode = NetMode::SleepScheduled(PbbfParams::PSM);
+/// let psm = NetSim::new(cfg, psm_mode).run_on(1, &cache.get_or_draw(&cfg, 7));
+/// let on = NetSim::new(cfg, NetMode::AlwaysOn).run_on(1, &cache.get_or_draw(&cfg, 7));
+/// assert_eq!(psm.source, on.source);
+/// assert_eq!(cache.misses(), 1);
+/// assert_eq!(cache.hits(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct DeploymentCache {
+    map: Mutex<HashMap<DeployKey, Arc<CachedDeployment>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DeploymentCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the deployment for `(cfg geometry, seed)`, drawing and
+    /// inserting it on first use. The draw is bitwise identical to the
+    /// one [`NetSim::run`](crate::NetSim::run) performs for `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no connected deployment can be drawn within
+    /// `cfg.max_deploy_attempts` (raise Δ or the attempt budget).
+    #[must_use]
+    pub fn get_or_draw(&self, cfg: &NetConfig, seed: u64) -> Arc<CachedDeployment> {
+        let key = DeployKey::new(cfg, seed);
+        if let Some(hit) = self.map.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Draw outside the lock so distinct scenarios construct in
+        // parallel. Two workers racing on the same key draw the same
+        // deployment (it is a pure function of the key); the extra draw
+        // is discarded by `or_insert`.
+        let drawn = Arc::new(crate::NetSim::draw_deployment(cfg, seed));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.lock().expect("cache poisoned");
+        Arc::clone(map.entry(key).or_insert(drawn))
+    }
+
+    /// Number of lookups answered from the cache.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that drew a fresh deployment.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct deployments stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache poisoned").len()
+    }
+
+    /// Whether the cache holds no deployments.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetSim;
+
+    #[test]
+    fn cached_deployment_is_bitwise_identical_to_fresh() {
+        let cfg = NetConfig::table2();
+        let cache = DeploymentCache::new();
+        for seed in [1u64, 2, 3] {
+            let cached = cache.get_or_draw(&cfg, seed);
+            let fresh = NetSim::draw_deployment(&cfg, seed);
+            assert_eq!(*cached, fresh, "seed {seed}");
+            // Second lookup hits and returns the same allocation.
+            let again = cache.get_or_draw(&cfg, seed);
+            assert!(Arc::ptr_eq(&cached, &again));
+        }
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn key_distinguishes_geometry() {
+        let cfg = NetConfig::table2();
+        let mut denser = cfg;
+        denser.delta = 16.0;
+        let cache = DeploymentCache::new();
+        let a = cache.get_or_draw(&cfg, 5);
+        let b = cache.get_or_draw(&denser, 5);
+        assert_ne!(a.topology, b.topology, "Δ must enter the key");
+        assert_eq!(cache.len(), 2);
+        // Traffic parameters are not part of the deployment identity.
+        let mut busier = cfg;
+        busier.lambda = 1.0;
+        busier.k = 4;
+        busier.duration_secs = 10.0;
+        let c = cache.get_or_draw(&busier, 5);
+        assert!(Arc::ptr_eq(&a, &c), "λ/k/duration do not redraw");
+    }
+}

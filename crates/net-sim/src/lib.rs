@@ -36,10 +36,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod active;
 mod config;
+mod deploy;
 mod runner;
 mod stats;
 
+pub use active::ActiveSet;
 pub use config::{NetConfig, NetMode};
+pub use deploy::{CachedDeployment, DeploymentCache};
 pub use runner::NetSim;
 pub use stats::NetRunStats;

@@ -1,4 +1,41 @@
 //! The discrete-event loop composing app, PBBF, PSM, CSMA, radio, channel.
+//!
+//! # The active-set event loop
+//!
+//! PSM gives every node two pieces of per-beacon bookkeeping: wake for
+//! the ATIM window at each frame start, and run the Figure-3 sleep
+//! decision at each window end. The original runner walked all `n` nodes
+//! in both handlers — O(n) per beacon interval even when the network was
+//! asleep and idle, which made the event loop (not the channel) the
+//! bottleneck of sparse low-duty-cycle scenarios.
+//!
+//! This runner is O(active) per beacon instead:
+//!
+//! * **Active sets** ([`ActiveSet`]) track the nodes each boundary
+//!   handler must process eagerly — at frame starts the nodes with an
+//!   announce to contend (`MacState::pending_work().frame_start`), at
+//!   window ends the nodes with pending data sends to schedule
+//!   (`.window_end`). Membership is refreshed at every MAC transition
+//!   point (`source_update`, `receive_data`, `mark_*_sent`,
+//!   `begin_frame`, `announce_now`). Handlers sweep members in ascending
+//!   node order so events enter the queue exactly as the full walk
+//!   inserted them (FIFO tie-breaking preserved).
+//! * **Lazy boundary replay** covers everyone else: each node carries a
+//!   cursor of boundaries already applied (`NodeRt::applied`), and
+//!   [`Runner::settle`] replays the missed
+//!   wake/`begin_frame`/sleep-decision steps — at their original
+//!   timestamps, consuming the node's own RNG substreams in the original
+//!   order — whenever the node is next touched (a delivery, a generated
+//!   update, or `into_stats`). A node that sleeps through a hundred
+//!   beacon intervals costs nothing in any of their handlers; its
+//!   boundary work happens once, in one cache-friendly pass.
+//!
+//! Both paths make bit-for-bit the same per-node calls with the same
+//! arguments, so results are identical to the deleted per-node walk —
+//! `tests/run_active_vs_seed.rs` pins that against fingerprints captured
+//! from it. Adaptive mode keeps a full walk: closing every node's
+//! controller window (and tracing mean parameters) at each beacon is
+//! inherently O(n), and its per-window `q` changes feed the sleep coin.
 
 use pbbf_core::adaptive::AdaptiveController;
 use pbbf_core::ForwardDecision;
@@ -9,7 +46,7 @@ use pbbf_radio::{
 };
 use pbbf_topology::{NodeId, RandomDeployment};
 
-use crate::{NetConfig, NetMode, NetRunStats};
+use crate::{ActiveSet, CachedDeployment, NetConfig, NetMode, NetRunStats};
 
 /// The realistic simulator: construct once, [`NetSim::run`] per seed.
 ///
@@ -42,6 +79,35 @@ impl NetSim {
         self.mode
     }
 
+    /// Draws the deployment and source node that [`NetSim::run`] would
+    /// use for `seed` — the unit of work the
+    /// [`DeploymentCache`](crate::DeploymentCache) stores and shares
+    /// across protocol modes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no connected deployment can be drawn within
+    /// `cfg.max_deploy_attempts` (raise Δ or the attempt budget).
+    #[must_use]
+    pub fn draw_deployment(cfg: &NetConfig, seed: u64) -> CachedDeployment {
+        let root = SimRng::new(seed);
+        let mut deploy_rng = root.substream(0);
+        let deployment = RandomDeployment::connected_with_density(
+            cfg.nodes,
+            cfg.range_m,
+            cfg.delta,
+            cfg.max_deploy_attempts,
+            &mut deploy_rng,
+        )
+        .expect("no connected deployment found; raise delta or attempts");
+        let mut source_rng = root.substream(1);
+        let source = NodeId(source_rng.below(cfg.nodes as u64) as u32);
+        CachedDeployment {
+            topology: deployment.into_topology(),
+            source,
+        }
+    }
+
     /// Executes one fully deterministic run.
     ///
     /// # Panics
@@ -67,31 +133,41 @@ impl NetSim {
         self.run_with(seed, BruteChannel::new)
     }
 
+    /// Executes one run on an already-drawn scenario (typically from a
+    /// [`DeploymentCache`](crate::DeploymentCache)), with protocol
+    /// randomness from `seed`.
+    ///
+    /// `run_on(seed, &NetSim::draw_deployment(cfg, seed))` is bitwise
+    /// identical to `run(seed)`: the deployment draw and the per-node
+    /// protocol substreams are independent streams of the same root.
+    #[must_use]
+    pub fn run_on(&self, seed: u64, deployment: &CachedDeployment) -> NetRunStats {
+        self.run_core(
+            seed,
+            deployment.topology.clone(),
+            deployment.source,
+            Channel::new,
+        )
+    }
+
     fn run_with<C: CollisionChannel>(
         &self,
         seed: u64,
         channel: impl FnOnce(pbbf_topology::Topology) -> C,
     ) -> NetRunStats {
-        let root = SimRng::new(seed);
-        let mut deploy_rng = root.substream(0);
-        let deployment = RandomDeployment::connected_with_density(
-            self.config.nodes,
-            self.config.range_m,
-            self.config.delta,
-            self.config.max_deploy_attempts,
-            &mut deploy_rng,
-        )
-        .expect("no connected deployment found; raise delta or attempts");
-        let mut source_rng = root.substream(1);
-        let source = NodeId(source_rng.below(self.config.nodes as u64) as u32);
+        let drawn = Self::draw_deployment(&self.config, seed);
+        self.run_core(seed, drawn.topology, drawn.source, channel)
+    }
 
-        let mut runner = Runner::new(
-            &self.config,
-            self.mode,
-            channel(deployment.into_topology()),
-            source,
-            &root,
-        );
+    fn run_core<C: CollisionChannel>(
+        &self,
+        seed: u64,
+        topology: pbbf_topology::Topology,
+        source: NodeId,
+        channel: impl FnOnce(pbbf_topology::Topology) -> C,
+    ) -> NetRunStats {
+        let root = SimRng::new(seed);
+        let mut runner = Runner::new(&self.config, self.mode, channel(topology), source, &root);
         runner.prime();
         runner.drain();
         runner.into_stats()
@@ -118,9 +194,18 @@ struct NodeRt {
     atim_scheduled: bool,
     normal_scheduled: bool,
     immediate_scheduled: bool,
+    /// Lazy-replay cursor: boundaries applied to this node so far
+    /// (eagerly or by [`Runner::settle`]). Boundaries alternate — frame
+    /// start of beacon `f` is number `2f`, its window end `2f + 1` — so
+    /// one counter encodes the position and `applied >= fired` is the
+    /// settled check.
+    applied: u32,
     /// Present only in [`NetMode::Adaptive`]: the Section-6 controller
-    /// plus last-window snapshots of its loss-signal inputs.
-    adapt: Option<AdaptiveController>,
+    /// plus last-window snapshots of its loss-signal inputs. Boxed so
+    /// the ~100-byte controller does not bloat every node of the static
+    /// modes — `NodeRt` size is what the delivery loops stream through
+    /// cache.
+    adapt: Option<Box<AdaptiveController>>,
     holes_snapshot: u64,
     known_snapshot: u64,
 }
@@ -128,6 +213,11 @@ struct NodeRt {
 struct Runner<C: CollisionChannel> {
     psm: bool,
     adaptive: bool,
+    /// The active-set fast path: boundary handlers sweep only active
+    /// nodes and everyone else is settled lazily. Off for always-on (no
+    /// beacon structure at all) and adaptive mode (every beacon closes
+    /// every node's observation window, an inherently dense walk).
+    lazy: bool,
     k: usize,
     timing: PsmTiming,
     backoff: BackoffPolicy,
@@ -139,6 +229,25 @@ struct Runner<C: CollisionChannel> {
     nodes: Vec<NodeRt>,
     queue: EventQueue<Ev>,
     source: NodeId,
+    /// Boundary events already fired (same numbering as
+    /// `NodeRt::applied`) — the target lazy nodes settle to.
+    fired: u32,
+    /// Nodes the frame-start handler must process (pending announces).
+    frame_set: ActiveSet,
+    /// Nodes the window-end handler must process (pending data sends).
+    window_set: ActiveSet,
+    /// Scratch for sorted active-set sweeps.
+    sweep: Vec<u32>,
+    /// Boundary timestamps in seconds, one entry per fired frame
+    /// (`frame_secs[f]` = start of frame `f`, `window_secs[f]` = its
+    /// window end), appended by the frame-start handler. Settling
+    /// replays the same `set_state` instants for thousands of nodes;
+    /// converting each boundary to seconds once — instead of dividing
+    /// nanoseconds per node per boundary — keeps the replay loop in
+    /// integer/flag work. Values are bit-identical to converting at
+    /// each use.
+    frame_secs: Vec<f64>,
+    window_secs: Vec<f64>,
     gen_times: Vec<SimTime>,
     receptions: Vec<Vec<Option<SimTime>>>,
     /// Reused per-`end_tx` delivery buffer: the channel writes into it so
@@ -159,7 +268,7 @@ impl<C: CollisionChannel> Runner<C> {
             NetMode::SleepScheduled(p) => p,
             NetMode::Adaptive(a) => a.initial,
         };
-        let nodes = (0..cfg.nodes)
+        let nodes: Vec<NodeRt> = (0..cfg.nodes)
             .map(|i| NodeRt {
                 mac: MacState::new(params, root.substream(1000 + i as u64)),
                 meter: EnergyMeter::new(cfg.power),
@@ -169,8 +278,9 @@ impl<C: CollisionChannel> Runner<C> {
                 atim_scheduled: false,
                 normal_scheduled: false,
                 immediate_scheduled: false,
+                applied: 0,
                 adapt: match mode {
-                    NetMode::Adaptive(a) => Some(AdaptiveController::new(a)),
+                    NetMode::Adaptive(a) => Some(Box::new(AdaptiveController::new(a))),
                     _ => None,
                 },
                 holes_snapshot: 0,
@@ -183,9 +293,12 @@ impl<C: CollisionChannel> Runner<C> {
         let expected_updates = cfg.expected_updates() as usize;
         // Degree ≈ Δ bounds the per-`end_tx` delivery count.
         let expected_degree = cfg.delta.ceil() as usize + 1;
+        let psm = !matches!(mode, NetMode::AlwaysOn);
+        let adaptive = matches!(mode, NetMode::Adaptive(_));
         Self {
-            psm: !matches!(mode, NetMode::AlwaysOn),
-            adaptive: matches!(mode, NetMode::Adaptive(_)),
+            psm,
+            adaptive,
+            lazy: psm && !adaptive,
             k: cfg.k,
             timing: PsmTiming::new(
                 SimDuration::from_secs(cfg.beacon_interval_secs),
@@ -197,9 +310,15 @@ impl<C: CollisionChannel> Runner<C> {
             update_period: SimDuration::from_secs(1.0 / cfg.lambda),
             duration: SimTime::from_secs(cfg.duration_secs),
             channel,
-            nodes,
             queue: EventQueue::new(),
             source,
+            fired: 0,
+            frame_set: ActiveSet::new(nodes.len()),
+            window_set: ActiveSet::new(nodes.len()),
+            sweep: Vec::new(),
+            frame_secs: Vec::new(),
+            window_secs: Vec::new(),
+            nodes,
             gen_times: Vec::with_capacity(expected_updates),
             receptions: Vec::with_capacity(expected_updates),
             deliveries: Vec::with_capacity(expected_degree),
@@ -237,39 +356,174 @@ impl<C: CollisionChannel> Runner<C> {
         }
     }
 
-    fn on_frame_start(&mut self, now: SimTime) {
-        let mut p_sum = 0.0;
-        let mut q_sum = 0.0;
-        for i in 0..self.nodes.len() {
-            let node = &mut self.nodes[i];
-            if !node.awake {
-                node.meter.set_state(now, RadioState::Idle);
-                node.awake = true;
-                node.awake_since = now;
-            }
-            // Adaptive PBBF: close the observation window at each beacon.
-            if let Some(ctl) = &mut node.adapt {
-                let holes = node.mac.sequence_holes();
-                let known = node.mac.known_updates().len() as u64;
-                let missed = holes.saturating_sub(node.holes_snapshot);
-                let received = known.saturating_sub(node.known_snapshot);
-                node.holes_snapshot = holes;
-                node.known_snapshot = known;
-                ctl.observe_updates(received, missed);
-                let params = ctl.end_window();
-                node.mac.set_params(params);
-                p_sum += params.p();
-                q_sum += params.q();
-            }
-            if node.mac.begin_frame() && !node.atim_scheduled {
-                node.atim_scheduled = true;
-                let at = self.backoff.next_atim_attempt(now, &mut node.rng);
-                self.queue.schedule(at, Ev::AtimAttempt(i as u32));
+    /// Re-derives node `i`'s active-set membership from its MAC flags.
+    /// Called at every transition point that can change pending work.
+    #[inline]
+    fn refresh_sets(&mut self, i: usize) {
+        if !self.lazy {
+            return;
+        }
+        let work = self.nodes[i].mac.pending_work();
+        self.frame_set.set(i, work.frame_start);
+        self.window_set.set(i, work.window_end);
+    }
+
+    /// Applies the frame-start boundary of beacon interval `frame` to
+    /// node `i`: wake it for the ATIM window and begin its MAC frame.
+    /// Returns whether the node wants to contend for an ATIM.
+    fn apply_frame_start(&mut self, i: usize, frame: u32) -> bool {
+        let node = &mut self.nodes[i];
+        node.applied = 2 * frame + 1;
+        if !node.awake {
+            let t = self.timing.frame_time(u64::from(frame));
+            node.meter.set_state(t, RadioState::Idle);
+            node.awake = true;
+            node.awake_since = t;
+        }
+        node.mac.begin_frame()
+    }
+
+    /// Applies the window-end boundary of beacon interval `frame` to node
+    /// `i` inside the `WindowEnd` handler itself: the Figure-3 sleep
+    /// decision and its radio-state transition. Only a node with a
+    /// pending sleep-state change queries the channel (lazy replay in
+    /// [`Runner::settle_replay`] never does — an untouched node cannot
+    /// be mid-transmission).
+    fn apply_window_end(&mut self, i: usize, frame: u32) {
+        let stay = self.nodes[i].mac.sleep_decision();
+        self.nodes[i].applied = 2 * frame + 2;
+        if !stay && self.nodes[i].awake && !self.channel.is_transmitting(NodeId(i as u32)) {
+            let t = self.timing.frame_time(u64::from(frame)) + self.timing.atim_window();
+            self.nodes[i].meter.set_state(t, RadioState::Sleep);
+            self.nodes[i].awake = false;
+        }
+    }
+
+    /// Brings node `i` up to the boundaries whose events have already
+    /// fired, replaying wake/sleep transitions at their original
+    /// timestamps and RNG draws in their original order. O(1) when the
+    /// node is already settled; every path that touches a node (a
+    /// delivery, a generated update, an attempt, `into_stats`) settles it
+    /// first.
+    ///
+    /// This is the hot loop of sparse scenarios — a node asleep for a
+    /// hundred beacon intervals pays for all of them here, in one pass
+    /// over cursor-indexed locals — so it works on a single borrow of
+    /// the node and the precomputed boundary-seconds tables rather than
+    /// going through the eager per-boundary helpers.
+    #[inline]
+    fn settle(&mut self, i: usize) {
+        if self.nodes[i].applied < self.fired {
+            self.settle_replay(i);
+        }
+    }
+
+    /// The out-of-line replay body of [`Runner::settle`] — kept cold so
+    /// the settled-already fast path (every delivery in a busy network)
+    /// stays a two-compare inline check.
+    fn settle_replay(&mut self, i: usize) {
+        debug_assert!(self.lazy, "only the lazy path leaves nodes unsettled");
+        let fired = self.fired;
+        // An unsettled node has had no events since before the boundaries
+        // being replayed, so it cannot be mid-transmission.
+        debug_assert!(
+            !self.channel.is_transmitting(NodeId(i as u32)),
+            "untouched node {i} cannot be mid-transmission"
+        );
+        let beacon_nanos = self.timing.beacon_interval().as_nanos();
+        let node = &mut self.nodes[i];
+        while node.applied < fired {
+            let boundary = node.applied;
+            node.applied = boundary + 1;
+            let frame = boundary >> 1;
+            if boundary & 1 == 0 {
+                // Frame start: wake for the ATIM window.
+                if !node.awake {
+                    node.meter
+                        .set_state_secs(self.frame_secs[frame as usize], RadioState::Idle);
+                    node.awake = true;
+                    node.awake_since = SimTime::from_nanos(u64::from(frame) * beacon_nanos);
+                }
+                let wants = node.mac.begin_frame();
+                debug_assert!(
+                    !wants,
+                    "node {i} with announce work must be in the frame-start active set"
+                );
+                let _ = wants;
+            } else {
+                // Window end: the Figure-3 sleep decision.
+                if !node.mac.sleep_decision() && node.awake {
+                    node.meter
+                        .set_state_secs(self.window_secs[frame as usize], RadioState::Sleep);
+                    node.awake = false;
+                }
             }
         }
-        if self.adaptive {
-            let n = self.nodes.len() as f64;
-            self.adaptive_trace.push((p_sum / n, q_sum / n));
+    }
+
+    fn on_frame_start(&mut self, now: SimTime) {
+        if self.lazy {
+            let frame = self.fired / 2;
+            debug_assert_eq!(self.frame_secs.len(), frame as usize);
+            self.frame_secs.push(now.as_secs());
+            self.window_secs
+                .push((now + self.timing.atim_window()).as_secs());
+            let mut sweep = std::mem::take(&mut self.sweep);
+            self.frame_set.sweep(&mut sweep);
+            for &i in &sweep {
+                let i = i as usize;
+                self.settle(i);
+                let wants = self.apply_frame_start(i, frame);
+                // Every member has announce work (membership is refreshed
+                // at each transition), so `begin_frame` left it with a
+                // pending normal send: it stays in this set and now needs
+                // window-end processing too.
+                debug_assert!(wants, "frame-set member {i} had nothing to announce");
+                if wants && !self.nodes[i].atim_scheduled {
+                    self.nodes[i].atim_scheduled = true;
+                    let at = self.backoff.next_atim_attempt(now, &mut self.nodes[i].rng);
+                    self.queue.schedule(at, Ev::AtimAttempt(i as u32));
+                }
+                self.window_set.set(i, true);
+            }
+            self.sweep = sweep;
+            self.fired = 2 * frame + 1;
+        } else {
+            // Adaptive mode: every beacon closes every node's observation
+            // window and records the mean parameters — a dense walk by
+            // construction.
+            let mut p_sum = 0.0;
+            let mut q_sum = 0.0;
+            for i in 0..self.nodes.len() {
+                let node = &mut self.nodes[i];
+                if !node.awake {
+                    node.meter.set_state(now, RadioState::Idle);
+                    node.awake = true;
+                    node.awake_since = now;
+                }
+                if let Some(ctl) = &mut node.adapt {
+                    let holes = node.mac.sequence_holes();
+                    let known = node.mac.known_updates().len() as u64;
+                    let missed = holes.saturating_sub(node.holes_snapshot);
+                    let received = known.saturating_sub(node.known_snapshot);
+                    node.holes_snapshot = holes;
+                    node.known_snapshot = known;
+                    ctl.observe_updates(received, missed);
+                    let params = ctl.end_window();
+                    node.mac.set_params(params);
+                    p_sum += params.p();
+                    q_sum += params.q();
+                }
+                if node.mac.begin_frame() && !node.atim_scheduled {
+                    node.atim_scheduled = true;
+                    let at = self.backoff.next_atim_attempt(now, &mut node.rng);
+                    self.queue.schedule(at, Ev::AtimAttempt(i as u32));
+                }
+            }
+            if self.adaptive {
+                let n = self.nodes.len() as f64;
+                self.adaptive_trace.push((p_sum / n, q_sum / n));
+            }
         }
         self.queue
             .schedule(now + self.timing.atim_window(), Ev::WindowEnd);
@@ -280,37 +534,63 @@ impl<C: CollisionChannel> Runner<C> {
     }
 
     fn on_window_end(&mut self, now: SimTime) {
-        for i in 0..self.nodes.len() {
-            let stay = self.nodes[i].mac.sleep_decision();
-            let transmitting = self.channel.is_transmitting(NodeId(i as u32));
-            let node = &mut self.nodes[i];
-            if !stay && !transmitting && node.awake {
-                node.meter.set_state(now, RadioState::Sleep);
-                node.awake = false;
+        if self.lazy {
+            let frame = self.fired / 2;
+            let mut sweep = std::mem::take(&mut self.sweep);
+            self.window_set.sweep(&mut sweep);
+            for &i in &sweep {
+                let i = i as usize;
+                self.settle(i);
+                self.apply_window_end(i, frame);
+                self.schedule_window_attempts(now, i);
             }
-            if node.mac.has_pending_normal() && !node.normal_scheduled {
-                node.normal_scheduled = true;
-                let at = self.backoff.next_data_attempt(now, &mut node.rng);
-                self.queue
-                    .schedule(at, Ev::DataAttempt(i as u32, DataIntent::Normal));
-            }
-            if node.mac.has_pending_immediate() && !node.immediate_scheduled {
-                node.immediate_scheduled = true;
-                let at = self.backoff.next_data_attempt(now, &mut node.rng);
-                self.queue
-                    .schedule(at, Ev::DataAttempt(i as u32, DataIntent::Immediate));
+            self.sweep = sweep;
+            self.fired = 2 * frame + 2;
+        } else {
+            for i in 0..self.nodes.len() {
+                let stay = self.nodes[i].mac.sleep_decision();
+                // Only a pending sleep-state change needs the channel
+                // queried.
+                if !stay && self.nodes[i].awake && !self.channel.is_transmitting(NodeId(i as u32)) {
+                    let node = &mut self.nodes[i];
+                    node.meter.set_state(now, RadioState::Sleep);
+                    node.awake = false;
+                }
+                self.schedule_window_attempts(now, i);
             }
         }
     }
 
+    /// The window-end contention kickoff: schedules the data-phase
+    /// attempts for node `i`'s pending sends (identical for the eager
+    /// sweep and the dense walk).
+    #[inline]
+    fn schedule_window_attempts(&mut self, now: SimTime, i: usize) {
+        let node = &mut self.nodes[i];
+        if node.mac.has_pending_normal() && !node.normal_scheduled {
+            node.normal_scheduled = true;
+            let at = self.backoff.next_data_attempt(now, &mut node.rng);
+            self.queue
+                .schedule(at, Ev::DataAttempt(i as u32, DataIntent::Normal));
+        }
+        let node = &mut self.nodes[i];
+        if node.mac.has_pending_immediate() && !node.immediate_scheduled {
+            node.immediate_scheduled = true;
+            let at = self.backoff.next_data_attempt(now, &mut node.rng);
+            self.queue
+                .schedule(at, Ev::DataAttempt(i as u32, DataIntent::Immediate));
+        }
+    }
+
     fn on_gen_update(&mut self, now: SimTime) {
+        let i = self.source.index();
+        self.settle(i);
         let id = self.gen_times.len() as u64;
         self.gen_times.push(now);
         let mut row = vec![None; self.nodes.len()];
-        row[self.source.index()] = Some(now);
+        row[i] = Some(now);
         self.receptions.push(row);
 
-        let i = self.source.index();
         let decision = self.nodes[i].mac.source_update(id);
         if self.psm {
             match decision {
@@ -333,6 +613,7 @@ impl<C: CollisionChannel> Runner<C> {
         } else {
             self.schedule_immediate_attempt(now, i);
         }
+        self.refresh_sets(i);
 
         let next = now + self.update_period;
         if next <= self.duration {
@@ -381,6 +662,13 @@ impl<C: CollisionChannel> Runner<C> {
             return;
         }
         self.nodes[i].atim_scheduled = false;
+        // Announce work keeps a node in the frame-start set, so it was
+        // settled when this frame began (the meter transition below needs
+        // that).
+        debug_assert!(
+            !self.lazy || self.nodes[i].applied >= self.fired,
+            "ATIM transmit on unsettled node {id}"
+        );
         let contents = self.nodes[i].mac.packet_contents(self.k);
         let end = self
             .channel
@@ -399,6 +687,11 @@ impl<C: CollisionChannel> Runner<C> {
             self.clear_guard(i, intent);
             return;
         }
+        // No settle here: a pending-immediate node's attempt can fire
+        // inside the next ATIM window before its frame start was applied
+        // (it is not in the frame-start set), but that path only
+        // reschedules — node state the boundary affects is not read, and
+        // the transmit path below asserts settledness.
         debug_assert!(self.nodes[i].awake, "pending data must keep {id} awake");
 
         // Data may not be sent during an ATIM window, and a frame may not
@@ -424,6 +717,14 @@ impl<C: CollisionChannel> Runner<C> {
             return;
         }
         self.clear_guard(i, intent);
+        // Transmitting records a meter transition at `now`, so the node's
+        // boundary replay must be current. It is: data transmits only in
+        // the data phase, and every pending-send node was eagerly
+        // processed at this frame's window end.
+        debug_assert!(
+            !self.lazy || self.nodes[i].applied >= self.fired,
+            "transmit on unsettled node {id}"
+        );
         let contents = self.nodes[i].mac.packet_contents(self.k);
         let frame = Frame::data(id, contents, intent == DataIntent::Immediate);
         let end = self.channel.begin_tx(now, frame, self.data_air);
@@ -452,6 +753,7 @@ impl<C: CollisionChannel> Runner<C> {
                 self.atim_tx += 1;
                 for d in &deliveries {
                     let r = d.receiver.index();
+                    self.settle(r);
                     if !self.nodes[r].awake || self.nodes[r].awake_since > d.started {
                         continue;
                     }
@@ -470,8 +772,10 @@ impl<C: CollisionChannel> Runner<C> {
                 } else {
                     self.nodes[i].mac.mark_normal_sent();
                 }
+                self.refresh_sets(i);
                 for d in &deliveries {
                     let r = d.receiver.index();
+                    self.settle(r);
                     if !self.nodes[r].awake || self.nodes[r].awake_since > d.started {
                         continue;
                     }
@@ -486,6 +790,10 @@ impl<C: CollisionChannel> Runner<C> {
                         continue;
                     }
                     let fresh = self.nodes[r].mac.receive_data(&updates);
+                    // Duplicate-only receptions (the common case in a
+                    // flood) change no MAC flags, so membership needs no
+                    // refresh for them.
+                    let had_fresh = !fresh.is_empty();
                     for id in fresh {
                         let row = &mut self.receptions[id as usize];
                         if row[r].is_none() {
@@ -497,13 +805,23 @@ impl<C: CollisionChannel> Runner<C> {
                     }
                     // A queued normal forward waits for the next ATIM
                     // window; `begin_frame`/`on_window_end` pick it up.
+                    if had_fresh {
+                        self.refresh_sets(r);
+                    }
                 }
             }
         }
         self.deliveries = deliveries;
     }
 
-    fn into_stats(self) -> NetRunStats {
+    fn into_stats(mut self) -> NetRunStats {
+        // Lazy nodes still owe their boundary replay; one cache-friendly
+        // pass per node closes the books.
+        if self.lazy {
+            for i in 0..self.nodes.len() {
+                self.settle(i);
+            }
+        }
         let topo = self.channel.topology();
         let hop_distance = topo.hop_distances(self.source);
         let energy_joules = self
@@ -734,5 +1052,36 @@ mod tests {
         for (u, row) in s.receptions.iter().enumerate() {
             assert_eq!(row[s.source.index()], Some(s.gen_times[u]));
         }
+    }
+
+    #[test]
+    fn run_on_cached_deployment_matches_run() {
+        // The documented contract: running on the deployment drawn from
+        // the same seed reproduces `run` bit for bit, for every mode.
+        use pbbf_core::adaptive::AdaptiveConfig;
+        let modes = [
+            NetMode::AlwaysOn,
+            NetMode::SleepScheduled(PbbfParams::PSM),
+            pbbf(0.25, 0.05),
+            pbbf(0.5, 0.5),
+            NetMode::Adaptive(AdaptiveConfig::default_for(
+                PbbfParams::new(0.1, 0.3).unwrap(),
+            )),
+        ];
+        let c = cfg(300.0);
+        for mode in modes {
+            let sim = NetSim::new(c, mode);
+            for seed in [1u64, 9] {
+                let drawn = NetSim::draw_deployment(&c, seed);
+                assert_eq!(sim.run_on(seed, &drawn), sim.run(seed));
+            }
+        }
+        // Decoupling: a different deployment seed changes the scenario
+        // while the protocol streams stay pinned to `seed`.
+        let sim = NetSim::new(c, pbbf(0.5, 0.5));
+        let other = NetSim::draw_deployment(&c, 77);
+        let s = sim.run_on(1, &other);
+        assert_eq!(s.source, other.source);
+        assert_ne!(s, sim.run(1));
     }
 }

@@ -1,0 +1,168 @@
+//! Pins the active-set event loop to the per-node-walk loop it replaced.
+//!
+//! The PR that introduced the active-set `Runner` deleted the original
+//! O(n)-per-beacon walk after capturing these fingerprints from it: every
+//! `(seed, mode)` cell below hashes the *complete* [`NetRunStats`] of one
+//! run — reception times, energy joules bit-for-bit, transmission and
+//! collision counters, adaptive traces. The refactored loop must reproduce
+//! the old loop's output exactly; any divergence (a skipped q coin, a
+//! mistimed meter transition, a reordered backoff draw) changes a
+//! fingerprint.
+//!
+//! Regenerate (only when an *intentional* behavior change is made) with:
+//!
+//! ```text
+//! PBBF_PRINT_FINGERPRINTS=1 cargo test -p pbbf-net-sim --test run_active_vs_seed -- --nocapture
+//! ```
+
+use pbbf_core::adaptive::AdaptiveConfig;
+use pbbf_core::PbbfParams;
+use pbbf_net_sim::{NetConfig, NetMode, NetRunStats, NetSim};
+
+/// FNV-1a over every field of the stats, f64s by bit pattern.
+fn fingerprint(s: &NetRunStats) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(u64::from(s.source.0));
+    for d in &s.hop_distance {
+        eat(u64::from(d.map_or(u32::MAX, |x| x)));
+    }
+    for t in &s.gen_times {
+        eat(t.as_nanos());
+    }
+    for row in &s.receptions {
+        for t in row {
+            eat(t.map_or(u64::MAX, |x| x.as_nanos()));
+        }
+    }
+    for e in &s.energy_joules {
+        eat(e.to_bits());
+    }
+    eat(s.data_tx);
+    eat(s.atim_tx);
+    eat(s.immediate_tx);
+    eat(s.collisions);
+    eat(s.mean_degree.to_bits());
+    for &(p, q) in &s.adaptive_trace {
+        eat(p.to_bits());
+        eat(q.to_bits());
+    }
+    h
+}
+
+fn modes() -> Vec<(&'static str, NetMode)> {
+    vec![
+        ("no-psm", NetMode::AlwaysOn),
+        ("psm", NetMode::SleepScheduled(PbbfParams::PSM)),
+        (
+            "pbbf-lo",
+            NetMode::SleepScheduled(PbbfParams::new(0.25, 0.05).unwrap()),
+        ),
+        (
+            "pbbf-mid",
+            NetMode::SleepScheduled(PbbfParams::new(0.5, 0.5).unwrap()),
+        ),
+        (
+            "pbbf-hi-q",
+            NetMode::SleepScheduled(PbbfParams::new(0.1, 1.0).unwrap()),
+        ),
+        (
+            "adaptive",
+            NetMode::Adaptive(AdaptiveConfig::default_for(
+                PbbfParams::new(0.1, 0.3).unwrap(),
+            )),
+        ),
+    ]
+}
+
+fn grid() -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    let mut cfg = NetConfig::table2();
+    cfg.duration_secs = 300.0;
+    for (label, mode) in modes() {
+        for seed in [1u64, 7, 42] {
+            let sim = NetSim::new(cfg, mode);
+            out.push((format!("{label}/{seed}"), fingerprint(&sim.run(seed))));
+        }
+    }
+    // A denser, busier scenario so contention paths are pinned too.
+    let mut dense = NetConfig::table2();
+    dense.duration_secs = 200.0;
+    dense.delta = 16.0;
+    dense.lambda = 0.1;
+    for (label, mode) in modes() {
+        let sim = NetSim::new(dense, mode);
+        out.push((format!("dense/{label}/9"), fingerprint(&sim.run(9))));
+    }
+    // A larger sparse low-duty-cycle scenario (the active-set fast path's
+    // home turf: most nodes sleep most beacons).
+    let mut sparse = NetConfig::table2();
+    sparse.nodes = 300;
+    sparse.duration_secs = 400.0;
+    for seed in [3u64, 11] {
+        let sim = NetSim::new(
+            sparse,
+            NetMode::SleepScheduled(PbbfParams::new(0.25, 0.05).unwrap()),
+        );
+        out.push((format!("sparse/{seed}"), fingerprint(&sim.run(seed))));
+    }
+    out
+}
+
+/// Captured from the pre-active-set per-node-walk loop (commit 630516c).
+const EXPECTED: &[(&str, u64)] = &[
+    ("no-psm/1", 0x115127465b0942e2),
+    ("no-psm/7", 0xab39b06c009eeb55),
+    ("no-psm/42", 0x6e905325f5634876),
+    ("psm/1", 0xf8df0767c80edf19),
+    ("psm/7", 0x27baf7244f97c2cb),
+    ("psm/42", 0xfdab74a2db8f7400),
+    ("pbbf-lo/1", 0x41ad998a03fa07c0),
+    ("pbbf-lo/7", 0x226c041fd8b20f6f),
+    ("pbbf-lo/42", 0xd876fba83074acea),
+    ("pbbf-mid/1", 0x30e4e17b9509e953),
+    ("pbbf-mid/7", 0x076ff0df4c72fd90),
+    ("pbbf-mid/42", 0x307f7373de5fc5c9),
+    ("pbbf-hi-q/1", 0xe17967e18a929dc7),
+    ("pbbf-hi-q/7", 0x22a9dc987c1db31a),
+    ("pbbf-hi-q/42", 0x7d766ed3d2a23f16),
+    ("adaptive/1", 0x4a63f95a6872e059),
+    ("adaptive/7", 0x0e037063ce0d512a),
+    ("adaptive/42", 0x4ec1a6acccd6d6ab),
+    ("dense/no-psm/9", 0x2970b74c581f139d),
+    ("dense/psm/9", 0x4d564f4f2db423cd),
+    ("dense/pbbf-lo/9", 0x87e3567ba7a66295),
+    ("dense/pbbf-mid/9", 0xec69b834468d3a3f),
+    ("dense/pbbf-hi-q/9", 0x8de0e23589e39ef1),
+    ("dense/adaptive/9", 0x17dadff62a850f65),
+    ("sparse/3", 0x05f2d30d5caf2a27),
+    ("sparse/11", 0x6c15ac46ddfaefdc),
+];
+
+#[test]
+fn run_active_vs_seed() {
+    let got = grid();
+    if std::env::var("PBBF_PRINT_FINGERPRINTS").is_ok() {
+        println!("const EXPECTED: &[(&str, u64)] = &[");
+        for (label, fp) in &got {
+            println!("    (\"{label}\", 0x{fp:016x}),");
+        }
+        println!("];");
+        return;
+    }
+    assert_eq!(got.len(), EXPECTED.len(), "grid shape changed");
+    for ((label, fp), (elabel, efp)) in got.iter().zip(EXPECTED) {
+        assert_eq!(label, elabel, "grid order changed");
+        assert_eq!(
+            *fp, *efp,
+            "{label}: stats diverged from the pinned per-node-walk loop"
+        );
+    }
+}

@@ -80,8 +80,24 @@ impl EnergyMeter {
     /// # Panics
     ///
     /// Panics if `now` precedes an earlier transition.
+    #[inline]
     pub fn set_state(&mut self, now: SimTime, state: RadioState) {
-        self.clock.transition(now.as_secs(), state.index());
+        self.set_state_secs(now.as_secs(), state);
+    }
+
+    /// [`EnergyMeter::set_state`] with the instant pre-converted to
+    /// seconds. Hot replay loops that visit the same instant for many
+    /// nodes (the net simulator's beacon boundaries) convert once and
+    /// reuse the value instead of paying the nanoseconds→seconds division
+    /// per node; `set_state_secs(t.as_secs(), s)` is exactly
+    /// `set_state(t, s)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` precedes an earlier transition.
+    #[inline]
+    pub fn set_state_secs(&mut self, secs: f64, state: RadioState) {
+        self.clock.transition(secs, state.index());
         self.state = state;
     }
 
@@ -145,6 +161,28 @@ mod tests {
         assert!((j - (0.081 + 0.030)).abs() < 1e-12);
         let d = m.durations_at(t(2.0));
         assert_eq!(d, [1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn set_state_secs_equals_set_state() {
+        let mut a = EnergyMeter::new(PowerProfile::MICA2);
+        let mut b = EnergyMeter::new(PowerProfile::MICA2);
+        let instants = [0.5, 1.25, 7.75, 100.0];
+        let states = [
+            RadioState::Sleep,
+            RadioState::Idle,
+            RadioState::Transmit,
+            RadioState::Sleep,
+        ];
+        for (&s, &st) in instants.iter().zip(&states) {
+            let now = t(s);
+            a.set_state(now, st);
+            b.set_state_secs(now.as_secs(), st);
+        }
+        assert_eq!(
+            a.joules_at(t(200.0)).to_bits(),
+            b.joules_at(t(200.0)).to_bits()
+        );
     }
 
     #[test]

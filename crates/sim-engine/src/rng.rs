@@ -103,6 +103,7 @@ impl SimRng {
     }
 
     /// Uniform draw in `[0, 1)` with 53 random bits.
+    #[inline]
     pub fn uniform01(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
@@ -175,6 +176,7 @@ impl RngCore for SimRng {
         (self.next_u64() >> 32) as u32
     }
 
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         // xoshiro256** step.
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);

@@ -69,7 +69,9 @@ pub mod prelude {
     pub use pbbf_experiments::{Effort, Experiment, Output};
     pub use pbbf_ideal_sim::{IdealConfig, IdealSim, Mode as IdealMode, RunStats as IdealRunStats};
     pub use pbbf_metrics::{ConfidenceInterval, Figure, Series, Summary, Table};
-    pub use pbbf_net_sim::{NetConfig, NetMode, NetRunStats, NetSim};
+    pub use pbbf_net_sim::{
+        ActiveSet, CachedDeployment, DeploymentCache, NetConfig, NetMode, NetRunStats, NetSim,
+    };
     pub use pbbf_percolation::{
         critical_bond_ratio, min_q_for_reliability, pq_boundary, NewmanZiff,
     };

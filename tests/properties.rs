@@ -372,4 +372,87 @@ proptest! {
         // Transmissions are bounded by one per delivered node.
         prop_assert!(u.total_tx() <= u64::from(delivered));
     }
+
+    /// Active-set membership stays consistent with a brute recomputation
+    /// of every node's pending work across randomized MAC event
+    /// schedules — the invariant the runner's O(active) boundary
+    /// handlers rest on. Ops mirror the runner's transition points
+    /// (receives, source updates, frame starts, send completions), each
+    /// followed by the same per-node membership refresh the runner does.
+    #[test]
+    fn active_sets_match_brute_pending_work(
+        seed in any::<u64>(),
+        p in 0.0f64..=1.0,
+        ops in prop::collection::vec((0usize..12, 0u8..6, 0u64..30), 1..400),
+    ) {
+        let params = PbbfParams::new(p, 0.5).unwrap();
+        let root = SimRng::new(seed);
+        let n = 12;
+        let mut macs: Vec<pbbf::mac::MacState> = (0..n)
+            .map(|i| pbbf::mac::MacState::new(params, root.substream(i as u64)))
+            .collect();
+        let mut frame_set = ActiveSet::new(n);
+        let mut window_set = ActiveSet::new(n);
+        // Per-node fresh id stream for `source_update` (which rejects
+        // duplicates); disjoint from the 0..30 `receive_data` ids.
+        let mut next_source_id = vec![0u64; n];
+        for (i, kind, id) in ops {
+            let mac = &mut macs[i];
+            match kind {
+                0 => { let _ = mac.receive_data(&[id]); }
+                1 => {
+                    next_source_id[i] += 1;
+                    let _ = mac.source_update(1000 + next_source_id[i]);
+                }
+                2 => { let _ = mac.begin_frame(); }
+                3 => { mac.receive_atim(); let _ = mac.sleep_decision(); }
+                4 => { if mac.has_pending_normal() { mac.mark_normal_sent(); } }
+                _ => {
+                    mac.announce_now();
+                    if mac.has_pending_immediate() { mac.mark_immediate_sent(); }
+                }
+            }
+            // The runner's refresh at a transition point.
+            let work = macs[i].pending_work();
+            frame_set.set(i, work.frame_start);
+            window_set.set(i, work.window_end);
+
+            // Brute recomputation over all nodes must agree.
+            let mut sweep = Vec::new();
+            frame_set.sweep(&mut sweep);
+            let brute_frame: Vec<u32> = (0..n)
+                .filter(|&j| macs[j].pending_work().frame_start)
+                .map(|j| j as u32)
+                .collect();
+            prop_assert_eq!(&sweep, &brute_frame);
+            window_set.sweep(&mut sweep);
+            let brute_window: Vec<u32> = (0..n)
+                .filter(|&j| macs[j].pending_work().window_end)
+                .map(|j| j as u32)
+                .collect();
+            prop_assert_eq!(&sweep, &brute_window);
+        }
+    }
+
+    /// Whole-run agreement of the three execution paths for arbitrary
+    /// operating points: the incremental channel vs the brute reference,
+    /// and a fresh per-run deployment vs the cached draw for the same
+    /// seed.
+    #[test]
+    fn whole_run_equivalence_and_cache_identity(
+        seed in any::<u64>(),
+        p in 0.0f64..=1.0,
+        q in 0.0f64..=1.0,
+    ) {
+        // Short but beacon-rich runs: the active-set loop, the brute
+        // channel, and the cached-deployment path must agree bit for bit.
+        let mut cfg = NetConfig::table2();
+        cfg.nodes = 20;
+        cfg.duration_secs = 130.0;
+        let sim = NetSim::new(cfg, NetMode::SleepScheduled(PbbfParams::new(p, q).unwrap()));
+        let baseline = sim.run(seed);
+        prop_assert_eq!(&baseline, &sim.run_brute(seed));
+        let drawn = NetSim::draw_deployment(&cfg, seed);
+        prop_assert_eq!(&baseline, &sim.run_on(seed, &drawn));
+    }
 }
