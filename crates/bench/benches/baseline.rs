@@ -2,12 +2,15 @@
 //! results are snapshotted into `BENCH_baseline.json` at the repo root so
 //! future optimization PRs have concrete numbers to beat.
 //!
-//! Regenerate the snapshot (from the workspace root; the path must be
-//! absolute because the bench binary runs in the package directory) with:
+//! Regenerate the snapshot with:
 //!
 //! ```text
-//! BENCH_OUTPUT_JSON=$PWD/BENCH_baseline.json cargo bench -p pbbf-bench --bench baseline
+//! BENCH_OUTPUT_JSON=BENCH_baseline.json cargo bench -p pbbf-bench --bench baseline
 //! ```
+//!
+//! (A relative `BENCH_OUTPUT_JSON` resolves against the workspace root —
+//! the criterion shim anchors it at the nearest ancestor `Cargo.lock` —
+//! so this works from any directory inside the repo.)
 //!
 //! CI enforces this snapshot: the `bench-gate` job re-runs every kernel
 //! and `bench_check` fails the build when one is more than 30% slower
@@ -29,17 +32,22 @@
 //!   reference (the PR-2 acceptance criterion is ≥2× here).
 //! * `net_sim_run_delta16` vs `net_sim_run_delta16_brute` — a dense
 //!   end-to-end run on each channel engine.
-//! * `net_sim_run_sparse_q05` vs `net_sim_run_sparse_q05_draw` — a
-//!   10k-node low-duty-cycle run on the active-set event loop, on a
-//!   cached deployment and with the per-run fresh draw respectively
-//!   (the PR-3 acceptance criterion is ≥2× on the cached kernel vs the
-//!   pre-active-set loop).
+//! * `net_sim_run_sparse_q05_shared` vs `net_sim_run_sparse_q05` vs
+//!   `net_sim_run_sparse_q05_draw` — a 10k-node low-duty-cycle run on the
+//!   active-set event loop: on the `Arc`-shared cached deployment (the
+//!   steady-state sweep unit — no per-run topology copy), on a per-run
+//!   *copied* deployment (the pre-Arc `run_on` semantics, kept so the
+//!   kernel stays comparable with its committed history), and with the
+//!   per-run fresh draw respectively. The copy itself is a small slice of
+//!   this run (~0.5 MB memcpy under ~18 ms of simulation), so the proof
+//!   that the shared path drops it is the allocation-count test
+//!   `crates/bench/tests/alloc_shared.rs`, not a wall-clock ratio.
 //! * `fig06_quick_effort` — one full figure regeneration at quick effort.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pbbf_des::{EventQueue, SimDuration, SimRng, SimTime};
 use pbbf_experiments::{fig06, Effort};
-use pbbf_net_sim::{NetConfig, NetMode, NetSim};
+use pbbf_net_sim::{CachedDeployment, NetConfig, NetMode, NetSim};
 use pbbf_radio::{BruteChannel, Channel, CollisionChannel, Frame};
 use pbbf_topology::{
     area_for_density, unit_disk_edges, unit_disk_edges_brute, NodeId, Point2, RandomDeployment,
@@ -208,12 +216,16 @@ fn net_sim_run_sparse(c: &mut Criterion) {
     // the runner spends on idle nodes — the kernel the active-set loop
     // is measured on.
     //
-    // `net_sim_run_sparse_q05` is the steady-state sweep unit after this
-    // PR: one protocol-mode run on a deployment drawn once and shared
-    // through the `DeploymentCache` (at this scale the connected-
-    // deployment rejection sampling costs as much as the whole run).
-    // `net_sim_run_sparse_q05_draw` includes that fresh draw, the
-    // pre-cache cost of every run.
+    // `net_sim_run_sparse_q05_shared` is the steady-state sweep unit
+    // after the Arc refactor: one protocol-mode run on a registry-cached
+    // deployment whose topology is *shared* into the channel by
+    // reference count — no per-run copy at all.
+    // `net_sim_run_sparse_q05` keeps the pre-Arc `run_on` semantics (the
+    // same run paying a per-run O(V + E) deployment copy) so its
+    // committed history stays comparable; `net_sim_run_sparse_q05_draw`
+    // adds the full connected-deployment rejection sampling, the
+    // pre-cache cost of every run (at this scale it costs as much as the
+    // whole run).
     let mut cfg = NetConfig::table2();
     cfg.nodes = 10_000;
     cfg.duration_secs = 600.0;
@@ -224,10 +236,16 @@ fn net_sim_run_sparse(c: &mut Criterion) {
         cfg,
         NetMode::SleepScheduled(pbbf_core::PbbfParams::new(0.25, 0.05).expect("valid")),
     );
-    let cached = sim.run_on(4, &deployment);
-    assert_eq!(cached, sim.run(4), "cached deployment must reproduce run");
-    c.bench_function("net_sim_run_sparse_q05", |b| {
+    let shared = sim.run_on(4, &deployment);
+    assert_eq!(shared, sim.run(4), "shared deployment must reproduce run");
+    c.bench_function("net_sim_run_sparse_q05_shared", |b| {
         b.iter(|| sim.run_on(4, &deployment))
+    });
+    c.bench_function("net_sim_run_sparse_q05", |b| {
+        b.iter(|| {
+            let copied = CachedDeployment::new(deployment.topology().clone(), deployment.source());
+            sim.run_on(4, &copied)
+        })
     });
     c.bench_function("net_sim_run_sparse_q05_draw", |b| b.iter(|| sim.run(4)));
 }

@@ -151,6 +151,11 @@ pub const RATIO_RULES: &[RatioRule] = &[
         slow: "net_sim_run_sparse_q05_draw",
         min_ratio: 1.5, // ~2.4x observed (cached vs fresh-draw runs)
     },
+    RatioRule {
+        fast: "net_sim_run_sparse_q05_shared",
+        slow: "net_sim_run_sparse_q05_draw",
+        min_ratio: 1.5, // ~2.6x observed (Arc-shared vs fresh-draw runs)
+    },
 ];
 
 /// Checks the [`RATIO_RULES`] within one fresh run. Returns the report

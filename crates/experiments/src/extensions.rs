@@ -160,9 +160,10 @@ pub fn ext_latency_tail(effort: &Effort, seed: u64) -> Figure {
     // Point-level fan-out: all (q, run) jobs schedule together; per-q
     // histograms fold in run order, so percentiles are thread-count
     // invariant. Run r's deployment is shared across the q points via
-    // the cache (the q sweep compares operating points on identical
-    // scenarios).
-    let cache = DeploymentCache::new();
+    // the process-wide registry (the q sweep compares operating points
+    // on identical scenarios) — and with the fig13–16 sweeps, which use
+    // the same geometry and deployment-seed stream.
+    let cache = DeploymentCache::global();
     let deploy_seed = mix(seed, crate::net_figs::DEPLOY_SALT);
     let all_stats = pbbf_parallel::par_run_grouped(qs.len(), effort.runs as usize, |qi, r| {
         let mode = NetMode::SleepScheduled(PbbfParams::new(0.5, qs[qi]).expect("valid"));
@@ -211,9 +212,10 @@ pub fn ext_k_tradeoff(effort: &Effort, seed: u64) -> Figure {
     let mut payload = Series::new("update payloads per packet");
     // Point-level fan-out: every (k, run) job schedules together; per-k
     // sums fold in run order (thread-count invariant). `k` does not
-    // enter the deployment geometry, so run r's scenario is drawn once
-    // and shared across the whole k sweep.
-    let cache = DeploymentCache::new();
+    // enter the deployment geometry, so run r's scenario resolves to the
+    // same registry entry across the whole k sweep — and across the
+    // other Table-2-geometry sweeps of the process.
+    let cache = DeploymentCache::global();
     let deploy_seed = mix(seed, crate::net_figs::DEPLOY_SALT);
     let ratios = pbbf_parallel::par_run_grouped(ks.len(), effort.runs as usize, |ki, r| {
         let mut cfg = NetConfig::table2();

@@ -51,17 +51,22 @@ struct NetPoint {
 /// Each job's RNG stream depends only on `(point seed, run index)` and
 /// per-point summaries fold in run order, so results are bitwise
 /// identical to the sequential per-point loop for any thread count.
-/// Deployments come from a sweep-local [`DeploymentCache`]: every point
-/// with the same geometry reuses run `r`'s connected deployment instead
-/// of redrawing it per protocol mode (the cached draw is a pure function
-/// of `(deployment seed, geometry)`, so the sharing preserves
-/// thread-count invariance).
+/// Deployments come from the process-wide registry
+/// ([`DeploymentCache::global`]): every point with the same geometry
+/// reuses run `r`'s connected deployment instead of redrawing it per
+/// protocol mode, and sweeps in *other* figures with the same geometry
+/// and deployment-seed stream (fig13–16 vs the latency-tail and
+/// k-trade-off extensions) resolve to the same entries. Each `(mode,
+/// run)` job shares the cached topology by `Arc` straight into its
+/// channel — no per-run copy. The cached draw is a pure function of
+/// `(deployment seed, geometry)`, so all of this sharing preserves
+/// thread-count invariance and leaves every figure's values untouched.
 fn run_points(
     effort: &Effort,
     points: &[NetPoint],
     metric: &(impl Fn(&NetRunStats) -> Option<f64> + Sync),
 ) -> Vec<Option<ConfidenceInterval>> {
-    let cache = DeploymentCache::new();
+    let cache = DeploymentCache::global();
     let vals = pbbf_parallel::par_run_grouped(points.len(), effort.runs as usize, |pi, r| {
         let pt = &points[pi];
         let deployment = cache.get_or_draw(&pt.cfg, mix(pt.deploy_seed, r as u64));

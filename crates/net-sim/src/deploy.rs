@@ -9,15 +9,27 @@
 //! by `(deployment seed, geometry)` so each scenario is constructed once
 //! and shared.
 //!
+//! The cached topology lives behind an [`Arc`] that
+//! [`NetSim::run_on`](crate::NetSim::run_on) threads straight into the
+//! collision channel, so every `(mode, run)` job of a sweep executes on
+//! the *same* adjacency allocation — sharing a scenario costs a
+//! reference-count bump, not an O(V + E) copy per run.
+//!
+//! [`DeploymentCache::global`] is the process-wide registry: figures with
+//! identical geometry and deployment-seed streams (the fig13–16 q sweeps,
+//! the latency-tail and k-trade-off extensions) resolve to the same
+//! entries instead of each sweep redrawing the same deployments.
+//!
 //! Determinism: the cached value is a pure function of the key (the draw
 //! consumes only substreams of the deployment seed), so concurrent
 //! lookups from a thread-pool fan-out return bitwise-identical
 //! deployments regardless of which worker populates the entry first —
-//! thread-count invariance is preserved.
+//! thread-count invariance is preserved, and a registry shared between
+//! figures cannot change any figure's values.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use pbbf_topology::{NodeId, Topology};
 
@@ -50,16 +62,38 @@ impl DeployKey {
 /// One drawn scenario: the connected topology and the source node, as
 /// [`NetSim::run`](crate::NetSim::run) would draw them from the same
 /// seed.
+///
+/// The topology is held behind an [`Arc`]; cloning a `CachedDeployment`
+/// (or running on one) shares the adjacency rather than copying it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CachedDeployment {
-    pub(crate) topology: Topology,
+    pub(crate) topology: Arc<Topology>,
     pub(crate) source: NodeId,
 }
 
 impl CachedDeployment {
+    /// Builds a scenario from parts (owned or already-shared topology).
+    /// Most callers want [`DeploymentCache::get_or_draw`] or
+    /// [`NetSim::draw_deployment`](crate::NetSim::draw_deployment)
+    /// instead; this constructor exists for benches and tests that
+    /// compose scenarios by hand.
+    #[must_use]
+    pub fn new(topology: impl Into<Arc<Topology>>, source: NodeId) -> Self {
+        Self {
+            topology: topology.into(),
+            source,
+        }
+    }
+
     /// The connected topology.
     #[must_use]
     pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The shared handle to the connected topology.
+    #[must_use]
+    pub fn topology_arc(&self) -> &Arc<Topology> {
         &self.topology
     }
 
@@ -102,6 +136,33 @@ impl DeploymentCache {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The process-wide deployment registry.
+    ///
+    /// Sweeps and figures that key their deployments the same way —
+    /// identical geometry (`nodes`, `range_m`, `delta`,
+    /// `max_deploy_attempts`) and deployment-seed stream — share entries
+    /// across the whole process instead of redrawing per sweep. Safe by
+    /// construction: a cached value is a pure function of its key, so a
+    /// registry hit returns exactly what a private cache (or a fresh
+    /// draw) would have produced, bitwise.
+    ///
+    /// Entries live for the life of the process (a connected Table-2
+    /// deployment is a few tens of kilobytes; a full figure regeneration
+    /// touches a few hundred keys). Long-running hosts that sweep
+    /// unbounded key sets can periodically [`DeploymentCache::clear`] it.
+    #[must_use]
+    pub fn global() -> &'static DeploymentCache {
+        static GLOBAL: OnceLock<DeploymentCache> = OnceLock::new();
+        GLOBAL.get_or_init(DeploymentCache::new)
+    }
+
+    /// Drops every cached deployment (in-flight [`Arc`]s stay alive).
+    /// Hit/miss counters are preserved — they count lookups, not
+    /// occupancy.
+    pub fn clear(&self) {
+        self.map.lock().expect("cache poisoned").clear();
     }
 
     /// Returns the deployment for `(cfg geometry, seed)`, drawing and

@@ -37,6 +37,8 @@
 //! controller window (and tracing mean parameters) at each beacon is
 //! inherently O(n), and its per-window `q` changes feed the sleep coin.
 
+use std::sync::Arc;
+
 use pbbf_core::adaptive::AdaptiveController;
 use pbbf_core::ForwardDecision;
 use pbbf_des::{EventQueue, SimDuration, SimRng, SimTime};
@@ -103,7 +105,7 @@ impl NetSim {
         let mut source_rng = root.substream(1);
         let source = NodeId(source_rng.below(cfg.nodes as u64) as u32);
         CachedDeployment {
-            topology: deployment.into_topology(),
+            topology: Arc::new(deployment.into_topology()),
             source,
         }
     }
@@ -140,11 +142,15 @@ impl NetSim {
     /// `run_on(seed, &NetSim::draw_deployment(cfg, seed))` is bitwise
     /// identical to `run(seed)`: the deployment draw and the per-node
     /// protocol substreams are independent streams of the same root.
+    ///
+    /// The scenario's topology is *shared* into the run's channel (an
+    /// [`Arc`] clone), never copied — every `(mode, run)` job of a sweep
+    /// executes over the same adjacency allocation across threads.
     #[must_use]
     pub fn run_on(&self, seed: u64, deployment: &CachedDeployment) -> NetRunStats {
         self.run_core(
             seed,
-            deployment.topology.clone(),
+            Arc::clone(&deployment.topology),
             deployment.source,
             Channel::new,
         )
@@ -153,7 +159,7 @@ impl NetSim {
     fn run_with<C: CollisionChannel>(
         &self,
         seed: u64,
-        channel: impl FnOnce(pbbf_topology::Topology) -> C,
+        channel: impl FnOnce(Arc<pbbf_topology::Topology>) -> C,
     ) -> NetRunStats {
         let drawn = Self::draw_deployment(&self.config, seed);
         self.run_core(seed, drawn.topology, drawn.source, channel)
@@ -162,9 +168,9 @@ impl NetSim {
     fn run_core<C: CollisionChannel>(
         &self,
         seed: u64,
-        topology: pbbf_topology::Topology,
+        topology: Arc<pbbf_topology::Topology>,
         source: NodeId,
-        channel: impl FnOnce(pbbf_topology::Topology) -> C,
+        channel: impl FnOnce(Arc<pbbf_topology::Topology>) -> C,
     ) -> NetRunStats {
         let root = SimRng::new(seed);
         let mut runner = Runner::new(&self.config, self.mode, channel(topology), source, &root);

@@ -9,6 +9,11 @@
 //! mistimed meter transition, a reordered backoff draw) changes a
 //! fingerprint.
 //!
+//! Every cell is additionally executed through [`NetSim::run_on`] on a
+//! registry-cached, `Arc`-shared scenario and must hash identically —
+//! pinning the shared-topology path (which replaced `run_on`'s per-run
+//! topology clone) to the same pre-refactor goldens.
+//!
 //! Regenerate (only when an *intentional* behavior change is made) with:
 //!
 //! ```text
@@ -17,7 +22,7 @@
 
 use pbbf_core::adaptive::AdaptiveConfig;
 use pbbf_core::PbbfParams;
-use pbbf_net_sim::{NetConfig, NetMode, NetRunStats, NetSim};
+use pbbf_net_sim::{DeploymentCache, NetConfig, NetMode, NetRunStats, NetSim};
 
 /// FNV-1a over every field of the stats, f64s by bit pattern.
 fn fingerprint(s: &NetRunStats) -> u64 {
@@ -82,14 +87,29 @@ fn modes() -> Vec<(&'static str, NetMode)> {
     ]
 }
 
+/// One grid cell: the `run` fingerprint, asserted identical to the same
+/// run executed on a registry-cached `Arc`-shared scenario (the
+/// shared-topology path must be indistinguishable from the fresh-draw,
+/// per-run-clone path it replaced).
+fn cell(cfg: NetConfig, mode: NetMode, seed: u64, label: &str) -> (String, u64) {
+    let sim = NetSim::new(cfg, mode);
+    let fp = fingerprint(&sim.run(seed));
+    let shared = DeploymentCache::global().get_or_draw(&cfg, seed);
+    let fp_shared = fingerprint(&sim.run_on(seed, &shared));
+    assert_eq!(
+        fp, fp_shared,
+        "{label}: Arc-shared run_on diverged from run for seed {seed}"
+    );
+    (label.to_string(), fp)
+}
+
 fn grid() -> Vec<(String, u64)> {
     let mut out = Vec::new();
     let mut cfg = NetConfig::table2();
     cfg.duration_secs = 300.0;
     for (label, mode) in modes() {
         for seed in [1u64, 7, 42] {
-            let sim = NetSim::new(cfg, mode);
-            out.push((format!("{label}/{seed}"), fingerprint(&sim.run(seed))));
+            out.push(cell(cfg, mode, seed, &format!("{label}/{seed}")));
         }
     }
     // A denser, busier scenario so contention paths are pinned too.
@@ -98,8 +118,7 @@ fn grid() -> Vec<(String, u64)> {
     dense.delta = 16.0;
     dense.lambda = 0.1;
     for (label, mode) in modes() {
-        let sim = NetSim::new(dense, mode);
-        out.push((format!("dense/{label}/9"), fingerprint(&sim.run(9))));
+        out.push(cell(dense, mode, 9, &format!("dense/{label}/9")));
     }
     // A larger sparse low-duty-cycle scenario (the active-set fast path's
     // home turf: most nodes sleep most beacons).
@@ -107,11 +126,8 @@ fn grid() -> Vec<(String, u64)> {
     sparse.nodes = 300;
     sparse.duration_secs = 400.0;
     for seed in [3u64, 11] {
-        let sim = NetSim::new(
-            sparse,
-            NetMode::SleepScheduled(PbbfParams::new(0.25, 0.05).unwrap()),
-        );
-        out.push((format!("sparse/{seed}"), fingerprint(&sim.run(seed))));
+        let mode = NetMode::SleepScheduled(PbbfParams::new(0.25, 0.05).unwrap());
+        out.push(cell(sparse, mode, seed, &format!("sparse/{seed}")));
     }
     out
 }

@@ -5,6 +5,7 @@
 //! tests in `pbbf-net-sim` prove it.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use pbbf_des::{SimDuration, SimTime};
 use pbbf_topology::{NodeId, Topology};
@@ -32,16 +33,19 @@ struct Active {
 /// use the incremental engine.
 #[derive(Debug, Clone)]
 pub struct BruteChannel {
-    topology: Topology,
+    /// Shared like the incremental engine's, so the reference path has
+    /// identical construction semantics (no per-run adjacency copy).
+    topology: Arc<Topology>,
     active: Vec<Active>,
 }
 
 impl BruteChannel {
-    /// Creates a channel over `topology`.
+    /// Creates a channel over `topology` — owned (wrapped into a fresh
+    /// [`Arc`]) or already shared (`Arc<Topology>`, no copy either way).
     #[must_use]
-    pub fn new(topology: Topology) -> Self {
+    pub fn new(topology: impl Into<Arc<Topology>>) -> Self {
         Self {
-            topology,
+            topology: topology.into(),
             active: Vec::new(),
         }
     }
@@ -49,6 +53,12 @@ impl BruteChannel {
     /// The underlying topology.
     #[must_use]
     pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The shared handle to the underlying topology.
+    #[must_use]
+    pub fn topology_arc(&self) -> &Arc<Topology> {
         &self.topology
     }
 
@@ -157,6 +167,10 @@ impl BruteChannel {
 impl CollisionChannel for BruteChannel {
     fn topology(&self) -> &Topology {
         BruteChannel::topology(self)
+    }
+
+    fn topology_arc(&self) -> &Arc<Topology> {
+        BruteChannel::topology_arc(self)
     }
 
     fn carrier_busy(&self, node: NodeId) -> bool {

@@ -16,6 +16,8 @@
 
 pub mod brute;
 
+use std::sync::Arc;
+
 use pbbf_des::{SimDuration, SimTime};
 use pbbf_topology::{NodeId, Topology};
 
@@ -43,9 +45,18 @@ pub struct Delivery {
 /// carrier sensing happens through [`CollisionChannel::carrier_busy`].
 /// Implementations must agree exactly — same panics, same delivery
 /// outcomes in the same (CSR neighbor) order.
+///
+/// Both implementations hold their topology behind an [`Arc`] rather
+/// than owning a copy: a channel constructed from a cached deployment
+/// shares the scenario's CSR adjacency with every other concurrent run
+/// instead of paying an O(V + E) clone per run.
 pub trait CollisionChannel {
     /// The underlying topology.
     fn topology(&self) -> &Topology;
+
+    /// The shared handle to the underlying topology (cloning it is
+    /// reference-count traffic, not an adjacency copy).
+    fn topology_arc(&self) -> &Arc<Topology>;
 
     /// Whether `node` currently senses the channel busy: it is
     /// transmitting itself or can hear an ongoing transmission.
@@ -135,7 +146,9 @@ struct ActiveTx {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Channel {
-    topology: Topology,
+    /// Shared, not owned: constructing a channel over a cached scenario
+    /// is a pointer bump, never an O(V + E) adjacency copy.
+    topology: Arc<Topology>,
     /// Active transmissions, slot-addressed; freed slots are recycled.
     slots: Vec<Option<ActiveTx>>,
     free_slots: Vec<u32>,
@@ -151,9 +164,11 @@ pub struct Channel {
 }
 
 impl Channel {
-    /// Creates a channel over `topology`.
+    /// Creates a channel over `topology` — owned (wrapped into a fresh
+    /// [`Arc`]) or already shared (`Arc<Topology>`, no copy either way).
     #[must_use]
-    pub fn new(topology: Topology) -> Self {
+    pub fn new(topology: impl Into<Arc<Topology>>) -> Self {
+        let topology = topology.into();
         let n = topology.len();
         Self {
             topology,
@@ -170,6 +185,12 @@ impl Channel {
     /// The underlying topology.
     #[must_use]
     pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The shared handle to the underlying topology.
+    #[must_use]
+    pub fn topology_arc(&self) -> &Arc<Topology> {
         &self.topology
     }
 
@@ -308,6 +329,10 @@ impl Channel {
 impl CollisionChannel for Channel {
     fn topology(&self) -> &Topology {
         Channel::topology(self)
+    }
+
+    fn topology_arc(&self) -> &Arc<Topology> {
+        Channel::topology_arc(self)
     }
 
     fn carrier_busy(&self, node: NodeId) -> bool {

@@ -1,0 +1,180 @@
+//! Golden fingerprints of every exhibit the repo can regenerate.
+//!
+//! Each cell hashes one complete figure or table — titles, axis labels,
+//! legend labels, and every point's `x`/`y`/`err` by f64 bit pattern — at
+//! a small fixed effort and seed. The committed `EXPECTED` constants pin
+//! the *values* of fig04–fig18, both tables, and the four extension
+//! exhibits (gossip-vs-PBBF, adaptive convergence, latency-tail,
+//! k-trade-off), so any change to RNG stream layout, sweep plumbing,
+//! caching, or reduction order shows up as a reviewed golden diff instead
+//! of silent drift.
+//!
+//! The harness is thread-count invariant by design (runs derive their
+//! streams from `(seed, run index)` and fold in index order); CI runs it
+//! in release mode with `PBBF_THREADS` = 1, 2, and 8 and expects identical
+//! fingerprints each time.
+//!
+//! Regenerate (only when a behavior change is *intentional*) with:
+//!
+//! ```text
+//! PBBF_PRINT_FINGERPRINTS=1 cargo test --release --test figure_fingerprints -- --nocapture
+//! ```
+//!
+//! and paste the printed block over `EXPECTED`.
+
+use pbbf_experiments::{
+    ext_adaptive_convergence, ext_gossip_vs_pbbf, ext_k_tradeoff, ext_latency_tail, Effort,
+    Experiment, Output,
+};
+use pbbf_metrics::Figure;
+
+const SEED: u64 = 2005;
+
+/// The scaled-down effort every fingerprint cell runs at: small enough for
+/// CI, large enough that every sweep path (q sweeps, Δ sweeps, point-level
+/// fan-out, deployment caching) executes for real.
+fn effort() -> Effort {
+    let mut e = Effort::quick();
+    e.runs = 2;
+    e.ideal_grid_side = 9;
+    e.ideal_updates = 1;
+    e.nz_runs = 8;
+    e.net_duration_secs = 100.0;
+    e.q_points = 3;
+    e.hop_probe_near = 3;
+    e.hop_probe_far = 5;
+    e
+}
+
+/// FNV-1a over a byte stream.
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    fn eat_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn eat_u64(&mut self, v: u64) {
+        self.eat_bytes(&v.to_le_bytes());
+    }
+
+    fn eat_str(&mut self, s: &str) {
+        self.eat_u64(s.len() as u64);
+        self.eat_bytes(s.as_bytes());
+    }
+}
+
+/// Hashes a figure structurally: labels as length-prefixed strings, every
+/// point's coordinates by bit pattern (so the fingerprint is independent
+/// of float formatting but sensitive to the last mantissa bit).
+fn fingerprint_figure(f: &Figure) -> u64 {
+    let mut h = Fnv::new();
+    h.eat_str(&f.title);
+    h.eat_str(&f.x_label);
+    h.eat_str(&f.y_label);
+    h.eat_u64(f.series.len() as u64);
+    for s in &f.series {
+        h.eat_str(&s.label);
+        h.eat_u64(s.points.len() as u64);
+        for p in &s.points {
+            h.eat_u64(p.x.to_bits());
+            h.eat_u64(p.y.to_bits());
+            h.eat_u64(p.err.to_bits());
+        }
+    }
+    h.0
+}
+
+fn fingerprint_output(out: &Output) -> u64 {
+    match out {
+        // Tables are static parameter listings; their rendered CSV is the
+        // contract.
+        Output::Table(t) => {
+            let mut h = Fnv::new();
+            h.eat_str(&t.to_csv());
+            h.0
+        }
+        Output::Figure(f) => fingerprint_figure(f),
+    }
+}
+
+/// Every exhibit in one deterministic order: the paper catalogue, then the
+/// extension figures.
+fn grid() -> Vec<(String, u64)> {
+    let e = effort();
+    let mut out = Vec::new();
+    for exp in Experiment::all() {
+        out.push((exp.id().to_string(), fingerprint_output(&exp.run(&e, SEED))));
+    }
+    for (id, fig) in [
+        ("ext_gossip_vs_pbbf", ext_gossip_vs_pbbf(&e, SEED)),
+        (
+            "ext_adaptive_convergence",
+            ext_adaptive_convergence(&e, SEED),
+        ),
+        ("ext_latency_tail", ext_latency_tail(&e, SEED)),
+        ("ext_k_tradeoff", ext_k_tradeoff(&e, SEED)),
+    ] {
+        out.push((id.to_string(), fingerprint_figure(&fig)));
+    }
+    out
+}
+
+/// Captured before the Arc-shared-topology refactor (per-sweep
+/// `DeploymentCache`, per-run topology clone); the shared/registry code
+/// paths must reproduce every value bit for bit.
+const EXPECTED: &[(&str, u64)] = &[
+    ("table1", 0x72ea8714b4828841),
+    ("table2", 0xa85f3108552919f6),
+    ("fig04", 0x755fae0867148084),
+    ("fig05", 0x13fbff497dae30b2),
+    ("fig06", 0xe1d21e1f62d1cfc1),
+    ("fig07", 0x651d840aad6dd4bd),
+    ("fig08", 0xa25dc0ac360101ff),
+    ("fig09", 0xaca6b4ba7f3b7fce),
+    ("fig10", 0xd72be1505aa63aaa),
+    ("fig11", 0x93da93b19a7e58bc),
+    ("fig12", 0xd9811d7bda8f5f74),
+    ("fig13", 0x1007c1ef0f2e096b),
+    ("fig14", 0x36f6a3b8e03f3a0f),
+    ("fig15", 0xd2b4bdf2fabfc592),
+    ("fig16", 0x5bccaab972d622b6),
+    ("fig17", 0x47bc1d8ab88e0947),
+    ("fig18", 0x0f912dd6d7cfd87e),
+    ("ext_gossip_vs_pbbf", 0x529b19142f3c0a0f),
+    ("ext_adaptive_convergence", 0xad3cc605db710c0e),
+    ("ext_latency_tail", 0x1dec78f5e1885394),
+    ("ext_k_tradeoff", 0x5293d5df17b57c3d),
+];
+
+#[test]
+fn figure_fingerprints() {
+    let got = grid();
+    if std::env::var("PBBF_PRINT_FINGERPRINTS").is_ok() {
+        println!("const EXPECTED: &[(&str, u64)] = &[");
+        for (id, fp) in &got {
+            println!("    (\"{id}\", 0x{fp:016x}),");
+        }
+        println!("];");
+        return;
+    }
+    assert_eq!(got.len(), EXPECTED.len(), "exhibit catalogue changed");
+    for ((id, fp), (eid, efp)) in got.iter().zip(EXPECTED) {
+        assert_eq!(id, eid, "exhibit order changed");
+        assert_eq!(
+            *fp, *efp,
+            "{id}: output diverged from the committed golden (regenerate \
+             with PBBF_PRINT_FINGERPRINTS=1 only if the change is intentional)"
+        );
+    }
+}
