@@ -115,6 +115,45 @@ impl Strategy for RangeInclusive<f64> {
     }
 }
 
+/// A strategy for probabilities in the half-open interval `(0, 1]` —
+/// the domain of a geometric success probability (a zero-probability
+/// coin has no finite runs). Exercises the `p = 1` endpoint and
+/// near-zero values deliberately: that is where samplers break.
+///
+/// # Examples
+///
+/// ```
+/// use pbbf_proptest::{probability_open_closed, Strategy, TestRng};
+///
+/// let mut rng = TestRng::new(1);
+/// for _ in 0..100 {
+///     let p = probability_open_closed().generate(&mut rng);
+///     assert!(p > 0.0 && p <= 1.0);
+/// }
+/// ```
+#[must_use]
+pub fn probability_open_closed() -> ProbabilityOpenClosed {
+    ProbabilityOpenClosed
+}
+
+/// See [`probability_open_closed`].
+pub struct ProbabilityOpenClosed;
+
+impl Strategy for ProbabilityOpenClosed {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        match rng.below(16) {
+            // The exact endpoint and the tiny-p regime are the edge
+            // cases; f64::MIN_POSITIVE stresses ln/underflow paths.
+            0 => 1.0,
+            1 => 1e-9,
+            2 => f64::MIN_POSITIVE,
+            // (0, 1): reject the measure-zero 0.0 by nudging it up.
+            _ => rng.unit_f64().max(f64::MIN_POSITIVE),
+        }
+    }
+}
+
 /// Types with a canonical "any value" strategy.
 pub trait Arbitrary: Sized {
     /// Draws an arbitrary value.
@@ -208,7 +247,9 @@ pub mod collection {
 
 /// The names property tests import with one `use`.
 pub mod prelude {
-    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Strategy};
+    pub use crate::{
+        any, probability_open_closed, prop_assert, prop_assert_eq, proptest, Strategy,
+    };
 
     /// Mirror of `proptest::prelude::prop`.
     pub mod prop {
@@ -300,6 +341,21 @@ mod tests {
             prop_assert!(xs.len() >= 2 && xs.len() < 6);
             prop_assert!(xs.iter().all(|&v| v < 5));
         }
+
+        #[test]
+        fn probabilities_stay_in_domain(p in probability_open_closed()) {
+            prop_assert!(p > 0.0 && p <= 1.0, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn probability_strategy_hits_the_endpoint() {
+        let mut rng = crate::TestRng::new(5);
+        let s = crate::probability_open_closed();
+        let draws: Vec<f64> = (0..200).map(|_| s.generate(&mut rng)).collect();
+        assert!(draws.contains(&1.0), "p = 1 must be exercised");
+        assert!(draws.iter().any(|&p| p < 1e-6), "tiny p must be exercised");
+        assert!(draws.iter().all(|&p| p > 0.0 && p <= 1.0));
     }
 
     #[test]

@@ -1,7 +1,11 @@
 //! Offline stand-in for the `rand` API surface this workspace uses:
-//! the [`RngCore`] trait and its [`Error`] type. The workspace's generators
-//! (`SimRng` in `pbbf-des`) implement the trait; no generator or
-//! distribution machinery is needed here.
+//! the [`RngCore`] trait, its [`Error`] type, and the one distribution
+//! the simulators sample beyond uniforms —
+//! [`distributions::Geometric`], the batched form of a run of identical
+//! Bernoulli coins. The workspace's generators (`SimRng` in `pbbf-des`)
+//! implement the trait.
+
+pub mod distributions;
 
 use std::fmt;
 

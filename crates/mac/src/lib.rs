@@ -28,5 +28,5 @@ mod state;
 mod timing;
 
 pub use backoff::BackoffPolicy;
-pub use state::{DataIntent, MacState, PendingWork};
+pub use state::{DataIntent, MacState, PendingWork, SkipSummary};
 pub use timing::PsmTiming;

@@ -1,6 +1,6 @@
 //! Per-node MAC bookkeeping: queues, flags and PBBF decisions.
 
-use pbbf_core::{DuplicateFilter, ForwardDecision, PbbfEngine, PbbfParams};
+use pbbf_core::{ForwardDecision, PbbfEngine, PbbfParams};
 use pbbf_des::SimRng;
 
 /// What a node wants from its next data transmission opportunity.
@@ -28,6 +28,38 @@ pub struct PendingWork {
     /// pending normal or immediate data whose transmission attempts are
     /// scheduled there.
     pub window_end: bool,
+}
+
+/// The outcome of a batched run of idle beacon boundaries — what
+/// [`MacState::skip_boundaries`] reports back so the caller (the net
+/// simulator's geometric-skip boundary engine) can settle energy and
+/// radio state in closed form without replaying each boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkipSummary {
+    /// Number of window ends (out of `k`) whose Figure-3 decision was
+    /// "stay awake".
+    pub stays: u32,
+    /// Index (0-based among the `k` skipped window ends) of the last
+    /// "sleep" decision, or `None` when every decision stayed awake.
+    /// Determines the node's final radio state (`Some(k - 1)` means it
+    /// ends asleep) and the instant it last woke.
+    pub last_sleep: Option<u32>,
+}
+
+impl SkipSummary {
+    /// Whether the node is awake after the last skipped window end.
+    #[must_use]
+    pub fn ends_awake(&self, k: u32) -> bool {
+        self.last_sleep != Some(k - 1)
+    }
+
+    /// Number of stay-awake decisions among the first `k - 1` window
+    /// ends — the ones whose data phases lie *inside* the settled span
+    /// (the final window end only fixes the state the node leaves in).
+    #[must_use]
+    pub fn stays_before_last(&self, k: u32) -> u32 {
+        self.stays - u32::from(self.ends_awake(k))
+    }
 }
 
 /// One node's MAC/application state for the code-distribution workload.
@@ -58,8 +90,10 @@ pub struct PendingWork {
 #[derive(Debug, Clone)]
 pub struct MacState {
     engine: PbbfEngine<SimRng>,
-    dup: DuplicateFilter,
-    /// Every update id this node has received, ascending.
+    /// Every update id this node has received, ascending — also the
+    /// duplicate filter: an id is fresh iff it is absent here. A binary
+    /// search over this tiny sorted vector keeps the per-delivery dedup
+    /// check (the innermost loop of a flood) free of hashing.
     known: Vec<u64>,
     /// A normal broadcast is queued for the *next* ATIM window.
     announce_pending: bool,
@@ -78,7 +112,6 @@ impl MacState {
     pub fn new(params: PbbfParams, rng: SimRng) -> Self {
         Self {
             engine: PbbfEngine::new(params, rng),
-            dup: DuplicateFilter::unbounded(),
             known: Vec::new(),
             announce_pending: false,
             send_normal: false,
@@ -176,23 +209,69 @@ impl MacState {
         self.engine.stay_on_after_active(data_to_send, data_to_recv)
     }
 
+    /// Batched Figure-3 boundaries for an idle node: the combined effect
+    /// of `k` consecutive (`begin_frame`, `sleep_decision`) pairs on a
+    /// node with no pending work, sampled as geometric runs instead of
+    /// `k` Bernoulli coins.
+    ///
+    /// `begin_frame` on an idle node only clears the per-frame ATIM flag
+    /// and promotes nothing, so the MAC-visible effect of the whole batch
+    /// is that clear plus `k` sleep coins; the coins are drawn via
+    /// [`PbbfEngine::sleep_run`](pbbf_core::PbbfEngine::sleep_run) — one
+    /// RNG draw per stay-awake run rather than one per boundary — and the
+    /// returned [`SkipSummary`] carries exactly what closed-form energy
+    /// settling needs (stay count and last-sleep position).
+    ///
+    /// Distributionally identical to the dense loop
+    /// `for _ in 0..k { self.begin_frame(); self.sleep_decision(); }`;
+    /// the RNG stream layout differs (the geometric-skip relaxation).
+    /// Exact at the `q = 0` / `q = 1` endpoints, which draw nothing on
+    /// either path.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the node has no pending announce or send (such
+    /// a node must be processed eagerly at each boundary, never skipped).
+    pub fn skip_boundaries(&mut self, k: u32) -> SkipSummary {
+        debug_assert_eq!(
+            self.pending_work(),
+            PendingWork::default(),
+            "skip_boundaries is only valid for idle nodes"
+        );
+        // Every skipped frame start clears the flag before its window
+        // end, so no decision in the batch can see a stale ATIM.
+        self.atim_received = false;
+        let mut stays = 0u32;
+        let mut last_sleep = None;
+        let mut t = 0u32;
+        while t < k {
+            let run = self.engine.sleep_run(k - t);
+            if run > 0 {
+                last_sleep = Some(t + run - 1);
+            }
+            t += run;
+            if t < k {
+                // The trial that ended the run stayed awake.
+                stays += 1;
+                t += 1;
+            }
+        }
+        SkipSummary { stays, last_sleep }
+    }
+
     /// Processes the update ids of a received data packet. Returns the
     /// ids that were fresh (never seen before); when any are fresh, the
     /// Figure-3 `Receive-Broadcast` coin queues a forward.
     pub fn receive_data(&mut self, updates: &[u64]) -> Vec<u64> {
-        let fresh: Vec<u64> = updates
-            .iter()
-            .copied()
-            .filter(|&id| self.dup.first_sighting(id))
-            .collect();
+        let mut fresh = Vec::new();
+        for &id in updates {
+            if let Err(pos) = self.known.binary_search(&id) {
+                self.known.insert(pos, id);
+                fresh.push(id);
+            }
+        }
         if fresh.is_empty() {
             return fresh;
-        }
-        for &id in &fresh {
-            match self.known.binary_search(&id) {
-                Ok(_) => {}
-                Err(pos) => self.known.insert(pos, id),
-            }
         }
         match self.engine.on_receive_broadcast() {
             ForwardDecision::SendImmediately => self.send_immediate = true,
@@ -214,11 +293,10 @@ impl MacState {
     /// PBBF forwarding decision for it (the source applies `p` like any
     /// forwarder — the paper's Figure 2).
     pub fn source_update(&mut self, id: u64) -> ForwardDecision {
-        let first = self.dup.first_sighting(id);
-        debug_assert!(first, "source generated a duplicate id {id}");
-        match self.known.binary_search(&id) {
-            Ok(_) => {}
-            Err(pos) => self.known.insert(pos, id),
+        let first = self.known.binary_search(&id);
+        debug_assert!(first.is_err(), "source generated a duplicate id {id}");
+        if let Err(pos) = first {
+            self.known.insert(pos, id);
         }
         let decision = self.engine.on_receive_broadcast();
         match decision {
@@ -411,6 +489,102 @@ mod tests {
         m.receive_data(&[9]);
         assert!(m.has_pending_immediate(), "now always-immediate");
         assert_eq!(m.params(), PbbfParams::new(1.0, 1.0).unwrap());
+    }
+
+    #[test]
+    fn skip_boundaries_endpoints_match_dense_exactly() {
+        // q = 0 (PSM) and q = 1 consume no randomness on either path, so
+        // batched and dense must agree outcome-for-outcome, not just in
+        // distribution.
+        let mut psm_like = psm();
+        assert_eq!(
+            psm_like.skip_boundaries(50),
+            SkipSummary {
+                stays: 0,
+                last_sleep: Some(49)
+            }
+        );
+        let mut always_on = MacState::new(PbbfParams::new(0.0, 1.0).unwrap(), SimRng::new(4));
+        assert_eq!(
+            always_on.skip_boundaries(50),
+            SkipSummary {
+                stays: 50,
+                last_sleep: None
+            }
+        );
+    }
+
+    #[test]
+    fn skip_boundaries_clears_atim_flag() {
+        let mut m = psm();
+        m.receive_atim();
+        m.skip_boundaries(1);
+        m.begin_frame();
+        assert!(!m.sleep_decision(), "flag must not survive skipped frames");
+    }
+
+    #[test]
+    fn skip_summary_accessors() {
+        let s = SkipSummary {
+            stays: 3,
+            last_sleep: Some(4),
+        };
+        assert!(!s.ends_awake(5), "last boundary slept");
+        assert_eq!(s.stays_before_last(5), 3);
+        let s = SkipSummary {
+            stays: 3,
+            last_sleep: Some(2),
+        };
+        assert!(s.ends_awake(5));
+        assert_eq!(s.stays_before_last(5), 2);
+        let s = SkipSummary {
+            stays: 5,
+            last_sleep: None,
+        };
+        assert!(s.ends_awake(5));
+        assert_eq!(s.stays_before_last(5), 4);
+    }
+
+    #[test]
+    fn skip_boundaries_matches_dense_distribution() {
+        // Chi-square-style agreement between the batched sampler and the
+        // dense per-boundary loop: stay counts over many independent
+        // batches must have the same Binomial(k, q) frequencies.
+        let k = 8u32;
+        for (q, seed) in [(0.1, 20u64), (0.5, 21), (0.9, 22)] {
+            let trials = 20_000u32;
+            let mut batched = MacState::new(PbbfParams::new(0.0, q).unwrap(), SimRng::new(seed));
+            let mut dense = MacState::new(PbbfParams::new(0.0, q).unwrap(), SimRng::new(seed + 1));
+            let mut batched_counts = vec![0u32; k as usize + 1];
+            let mut dense_counts = vec![0u32; k as usize + 1];
+            for _ in 0..trials {
+                let s = batched.skip_boundaries(k);
+                batched_counts[s.stays as usize] += 1;
+                let mut stays = 0usize;
+                for _ in 0..k {
+                    dense.begin_frame();
+                    if dense.sleep_decision() {
+                        stays += 1;
+                    }
+                }
+                dense_counts[stays] += 1;
+            }
+            // Pearson chi-square between the two empirical distributions
+            // (pooled expectation); 8 dof, 27.9 is the 0.999 quantile.
+            let mut chi2 = 0.0;
+            for i in 0..=k as usize {
+                let a = f64::from(batched_counts[i]);
+                let b = f64::from(dense_counts[i]);
+                let e = (a + b) / 2.0;
+                if e > 0.0 {
+                    chi2 += (a - e).powi(2) / e + (b - e).powi(2) / e;
+                }
+            }
+            assert!(
+                chi2 < 27.9,
+                "q = {q}: chi2 {chi2}, batched {batched_counts:?} vs dense {dense_counts:?}"
+            );
+        }
     }
 
     #[test]

@@ -123,6 +123,51 @@ impl<const N: usize> StateClock<N> {
         self.since = now;
     }
 
+    /// Credits `k` detached intervals of `per_boundary_secs` each to
+    /// `state`, without moving the clock or changing the current state.
+    ///
+    /// This is the closed-form half of batched settling: a caller that
+    /// knows an entity alternated through a long, regular stretch (say
+    /// `k` beacon boundaries of an idle radio) adds each state's total
+    /// residency in O(1) instead of replaying `2k` transitions, then
+    /// relocates the clock once with [`StateClock::jump_to`]. The caller
+    /// is responsible for the credited intervals summing to the span the
+    /// jump skips — [`StateClock::durations_at`] keeps no record of
+    /// *where* time was spent, only how much.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state >= N` or `per_boundary_secs` is negative.
+    #[inline]
+    pub fn accrue_batch(&mut self, state: usize, k: u64, per_boundary_secs: f64) {
+        assert!(state < N, "state {state} out of range (N = {N})");
+        assert!(
+            per_boundary_secs >= 0.0,
+            "negative boundary length {per_boundary_secs}"
+        );
+        self.durations[state] += k as f64 * per_boundary_secs;
+    }
+
+    /// Moves the clock to `now` in `state` **without** charging the
+    /// elapsed interval to any state — the elapsed time must already
+    /// have been credited via [`StateClock::accrue_batch`]. The
+    /// batched-settling counterpart of [`StateClock::transition`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state >= N` or `now` precedes the previous transition.
+    #[inline]
+    pub fn jump_to(&mut self, now: f64, state: usize) {
+        assert!(state < N, "state {state} out of range (N = {N})");
+        assert!(
+            now >= self.since,
+            "time went backwards: {now} < {}",
+            self.since
+        );
+        self.state = state;
+        self.since = now;
+    }
+
     /// Closes the books at time `now` and returns per-state durations.
     ///
     /// The clock remains usable; the trailing interval is accounted and the
@@ -234,6 +279,71 @@ mod tests {
         // Clock continues in state 1 from t=6.
         let d2 = c.durations_at(8.0);
         assert_eq!(d2, [4.0, 4.0]);
+    }
+
+    #[test]
+    fn batched_accrual_matches_dense_transitions() {
+        // Dense: an entity alternating 1 s in state 0 / 9 s in state 1
+        // for 50 periods, transition by transition. Batched: the same
+        // stretch as two accruals and one jump.
+        let mut dense = StateClock::<2>::new();
+        for f in 0..50 {
+            let start = f64::from(f) * 10.0;
+            dense.transition(start, 0);
+            dense.transition(start + 1.0, 1);
+        }
+        let mut batched = StateClock::<2>::new();
+        batched.accrue_batch(0, 50, 1.0);
+        batched.accrue_batch(1, 49, 9.0);
+        batched.jump_to(491.0, 1);
+        let at = 500.0;
+        let d_dense = dense.durations_at(at);
+        let d_batched = batched.durations_at(at);
+        for (a, b) in d_dense.iter().zip(&d_batched) {
+            assert!((a - b).abs() < 1e-9, "dense {d_dense:?} vs {d_batched:?}");
+        }
+    }
+
+    #[test]
+    fn jump_does_not_charge_the_gap() {
+        let mut c = StateClock::<2>::new();
+        c.transition(2.0, 1);
+        // Jump over [2, 10] without charging it anywhere.
+        c.jump_to(10.0, 0);
+        let d = c.durations_at(12.0);
+        assert_eq!(d, [2.0 + 2.0, 0.0]);
+        // Sum is NOT elapsed time: the skipped gap was never credited.
+        assert!((d.iter().sum::<f64>() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accrue_batch_zero_boundaries_is_noop() {
+        let mut c = StateClock::<3>::new();
+        c.accrue_batch(2, 0, 123.0);
+        c.accrue_batch(1, 5, 0.0);
+        assert_eq!(c.durations_at(0.0), [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn accrue_batch_bad_state_panics() {
+        let mut c = StateClock::<2>::new();
+        c.accrue_batch(2, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative boundary length")]
+    fn accrue_batch_negative_secs_panics() {
+        let mut c = StateClock::<2>::new();
+        c.accrue_batch(0, 1, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn jump_backwards_panics() {
+        let mut c = StateClock::<2>::new();
+        c.transition(5.0, 1);
+        c.jump_to(4.0, 0);
     }
 
     #[test]

@@ -36,6 +36,61 @@ impl NetMode {
     }
 }
 
+/// How the runner settles the beacon boundaries of *idle* nodes — the
+/// per-beacon wake/`begin_frame`/sleep-coin steps of everyone with no
+/// pending traffic.
+///
+/// Both engines simulate the same protocol and agree in distribution;
+/// they differ in RNG stream layout (and therefore in the exact values a
+/// fixed seed produces) and in cost:
+///
+/// * [`Geometric`](BoundaryEngine::Geometric) — the default. Skipped
+///   boundaries are settled in closed form: the index of the node's next
+///   "stay awake" boundary is drawn from a geometric distribution (one
+///   RNG draw per run of sleeps instead of one Bernoulli per boundary)
+///   and the energy of the whole run is credited in O(1). A node asleep
+///   through a hundred beacon intervals costs a handful of arithmetic
+///   operations instead of a hundred replayed steps.
+/// * [`Dense`](BoundaryEngine::Dense) — the exact-equivalence mode:
+///   every skipped boundary is replayed individually, consuming one coin
+///   per boundary, bit-for-bit identical to the original per-node walk
+///   (and to the committed pre-geometric goldens). Kept for equivalence
+///   tests and for dense workloads (Δ = 16-style scenarios keep most
+///   nodes busy, where batching has nothing to skip).
+///
+/// The environment variable `PBBF_DENSE_BOUNDARIES=1` (read once per
+/// process) forces [`Dense`](BoundaryEngine::Dense) regardless of
+/// configuration — the escape hatch for golden regeneration and
+/// triage. Set it to `0` (or unset it) for the configured engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BoundaryEngine {
+    /// Closed-form geometric-skip settling of idle boundaries (default).
+    #[default]
+    Geometric,
+    /// Exact per-boundary replay (the pre-geometric stream layout).
+    Dense,
+}
+
+impl BoundaryEngine {
+    /// The engine actually in force: `self`, unless
+    /// `PBBF_DENSE_BOUNDARIES` overrides it process-wide.
+    #[must_use]
+    pub fn effective(self) -> Self {
+        static FORCED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        let forced = *FORCED.get_or_init(|| {
+            std::env::var("PBBF_DENSE_BOUNDARIES").is_ok_and(|v| {
+                let v = v.trim();
+                !v.is_empty() && v != "0"
+            })
+        });
+        if forced {
+            BoundaryEngine::Dense
+        } else {
+            self
+        }
+    }
+}
+
 /// Scenario parameters for one realistic-simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NetConfig {
@@ -61,6 +116,10 @@ pub struct NetConfig {
     pub power: PowerProfile,
     /// Attempts to draw a connected deployment before giving up.
     pub max_deploy_attempts: u32,
+    /// How idle nodes' beacon boundaries are settled (see
+    /// [`BoundaryEngine`]). Not part of the deployment identity — both
+    /// engines run on the same cached scenarios.
+    pub boundary_engine: BoundaryEngine,
 }
 
 impl NetConfig {
@@ -80,6 +139,7 @@ impl NetConfig {
             phy: Phy::mica2(),
             power: PowerProfile::MICA2,
             max_deploy_attempts: 1000,
+            boundary_engine: BoundaryEngine::Geometric,
         }
     }
 
@@ -122,6 +182,38 @@ mod tests {
         assert_eq!(c.expected_updates(), 10);
         c.duration_secs = 0.1;
         assert_eq!(c.expected_updates(), 0);
+    }
+
+    #[test]
+    fn boundary_engine_defaults_to_geometric() {
+        assert_eq!(
+            NetConfig::table2().boundary_engine,
+            BoundaryEngine::Geometric
+        );
+        assert_eq!(BoundaryEngine::default(), BoundaryEngine::Geometric);
+        // Without the env override in this process, `effective` is the
+        // identity (CI sets PBBF_DENSE_BOUNDARIES only in dedicated
+        // steps, never for the unit-test run).
+        if std::env::var("PBBF_DENSE_BOUNDARIES").is_err() {
+            assert_eq!(
+                BoundaryEngine::Geometric.effective(),
+                BoundaryEngine::Geometric
+            );
+            assert_eq!(BoundaryEngine::Dense.effective(), BoundaryEngine::Dense);
+        }
+    }
+
+    #[test]
+    fn env_override_forces_dense() {
+        // Gives the PBBF_DENSE_BOUNDARIES=1 CI step its signal; a no-op
+        // in the ordinary test run (the variable is read once per
+        // process, so it cannot be toggled in-process here).
+        let forced = std::env::var("PBBF_DENSE_BOUNDARIES")
+            .is_ok_and(|v| !v.trim().is_empty() && v.trim() != "0");
+        if forced {
+            assert_eq!(BoundaryEngine::Geometric.effective(), BoundaryEngine::Dense);
+            assert_eq!(BoundaryEngine::Dense.effective(), BoundaryEngine::Dense);
+        }
     }
 
     #[test]

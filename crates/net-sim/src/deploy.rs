@@ -28,6 +28,7 @@
 //! figures cannot change any figure's values.
 
 use std::collections::HashMap;
+use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -104,8 +105,46 @@ impl CachedDeployment {
     }
 }
 
+/// A snapshot of a [`DeploymentCache`]'s counters and occupancy, from
+/// [`DeploymentCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that drew a fresh deployment.
+    pub misses: u64,
+    /// Entries evicted to honor the capacity bound.
+    pub evictions: u64,
+    /// Distinct deployments currently stored.
+    pub len: usize,
+    /// The capacity bound (entries).
+    pub capacity: usize,
+}
+
+/// One resident entry: the shared deployment plus its recency stamp.
+#[derive(Debug)]
+struct CacheEntry {
+    value: Arc<CachedDeployment>,
+    /// Tick of the last lookup that touched this entry — the LRU order.
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheMap {
+    entries: HashMap<DeployKey, CacheEntry>,
+    /// Monotonic lookup counter stamping `last_used`.
+    tick: u64,
+}
+
 /// A `(seed, Δ)`-keyed store of connected deployments, shared across the
 /// protocol modes (and runs) of a sweep.
+///
+/// The cache is **bounded**: when a fresh draw would push occupancy past
+/// the capacity, the least-recently-used entries are evicted
+/// ([`DeploymentCache::stats`] counts them). Eviction can never change a
+/// value: a deployment is a pure function of its key, so a re-drawn
+/// entry is bitwise identical to the evicted one, and in-flight [`Arc`]s
+/// to an evicted deployment stay alive until their runs finish.
 ///
 /// # Examples
 ///
@@ -121,21 +160,52 @@ impl CachedDeployment {
 /// let psm = NetSim::new(cfg, psm_mode).run_on(1, &cache.get_or_draw(&cfg, 7));
 /// let on = NetSim::new(cfg, NetMode::AlwaysOn).run_on(1, &cache.get_or_draw(&cfg, 7));
 /// assert_eq!(psm.source, on.source);
-/// assert_eq!(cache.misses(), 1);
-/// assert_eq!(cache.hits(), 1);
+/// let stats = cache.stats();
+/// assert_eq!((stats.misses, stats.hits, stats.evictions), (1, 1, 0));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct DeploymentCache {
-    map: Mutex<HashMap<DeployKey, Arc<CachedDeployment>>>,
+    map: Mutex<CacheMap>,
+    capacity: NonZeroUsize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for DeploymentCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl DeploymentCache {
-    /// Creates an empty cache.
+    /// The default capacity bound (entries). A connected Table-2
+    /// deployment is a few tens of kilobytes and a full figure
+    /// regeneration touches a few hundred keys, so the default holds a
+    /// whole regeneration resident at roughly tens of megabytes while
+    /// capping an unbounded-sweep service's footprint.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// Creates an empty cache with [`DeploymentCache::DEFAULT_CAPACITY`].
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates an empty cache bounded to `capacity` entries (at least 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            map: Mutex::new(CacheMap::default()),
+            capacity: NonZeroUsize::new(capacity).expect("capacity must be at least 1"),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
     }
 
     /// The process-wide deployment registry.
@@ -148,10 +218,14 @@ impl DeploymentCache {
     /// registry hit returns exactly what a private cache (or a fresh
     /// draw) would have produced, bitwise.
     ///
-    /// Entries live for the life of the process (a connected Table-2
-    /// deployment is a few tens of kilobytes; a full figure regeneration
-    /// touches a few hundred keys). Long-running hosts that sweep
-    /// unbounded key sets can periodically [`DeploymentCache::clear`] it.
+    /// The registry is bounded to [`DeploymentCache::DEFAULT_CAPACITY`]
+    /// entries with LRU eviction (a connected Table-2 deployment is a
+    /// few tens of kilobytes; a full figure regeneration touches a few
+    /// hundred keys, comfortably resident), so a long-running host
+    /// sweeping unbounded key sets plateaus instead of growing for the
+    /// life of the process; [`DeploymentCache::clear`] remains for
+    /// manual pressure relief, and [`DeploymentCache::stats`] exposes
+    /// hit/miss/eviction counts for capacity tuning.
     #[must_use]
     pub fn global() -> &'static DeploymentCache {
         static GLOBAL: OnceLock<DeploymentCache> = OnceLock::new();
@@ -159,15 +233,17 @@ impl DeploymentCache {
     }
 
     /// Drops every cached deployment (in-flight [`Arc`]s stay alive).
-    /// Hit/miss counters are preserved — they count lookups, not
-    /// occupancy.
+    /// Hit/miss/eviction counters are preserved — they count lookups and
+    /// evictions, not occupancy; a `clear` is not an eviction.
     pub fn clear(&self) {
-        self.map.lock().expect("cache poisoned").clear();
+        self.map.lock().expect("cache poisoned").entries.clear();
     }
 
     /// Returns the deployment for `(cfg geometry, seed)`, drawing and
-    /// inserting it on first use. The draw is bitwise identical to the
-    /// one [`NetSim::run`](crate::NetSim::run) performs for `seed`.
+    /// inserting it on first use — evicting least-recently-used entries
+    /// if the insert would exceed the capacity bound. The draw is
+    /// bitwise identical to the one [`NetSim::run`](crate::NetSim::run)
+    /// performs for `seed`.
     ///
     /// # Panics
     ///
@@ -176,18 +252,59 @@ impl DeploymentCache {
     #[must_use]
     pub fn get_or_draw(&self, cfg: &NetConfig, seed: u64) -> Arc<CachedDeployment> {
         let key = DeployKey::new(cfg, seed);
-        if let Some(hit) = self.map.lock().expect("cache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
+        {
+            let mut map = self.map.lock().expect("cache poisoned");
+            map.tick += 1;
+            let tick = map.tick;
+            if let Some(entry) = map.entries.get_mut(&key) {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(&entry.value);
+            }
         }
         // Draw outside the lock so distinct scenarios construct in
         // parallel. Two workers racing on the same key draw the same
         // deployment (it is a pure function of the key); the extra draw
-        // is discarded by `or_insert`.
+        // is discarded below.
         let drawn = Arc::new(crate::NetSim::draw_deployment(cfg, seed));
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut map = self.map.lock().expect("cache poisoned");
-        Arc::clone(map.entry(key).or_insert(drawn))
+        map.tick += 1;
+        let tick = map.tick;
+        let value = Arc::clone(
+            &map.entries
+                .entry(key)
+                .and_modify(|e| e.last_used = tick)
+                .or_insert(CacheEntry {
+                    value: drawn,
+                    last_used: tick,
+                })
+                .value,
+        );
+        // Evict the stalest entries down to capacity. O(len) per
+        // eviction scan, which only runs on inserts past the bound —
+        // negligible next to the connected-deployment draw it follows.
+        let mut evicted = 0u64;
+        while map.entries.len() > self.capacity.get() {
+            let stalest = map
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("over-capacity map is non-empty");
+            map.entries.remove(&stalest);
+            evicted += 1;
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        value
+    }
+
+    /// The capacity bound, in entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity.get()
     }
 
     /// Number of lookups answered from the cache.
@@ -202,10 +319,32 @@ impl DeploymentCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Number of entries evicted to honor the capacity bound.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time snapshot of counters and occupancy. Each field
+    /// is read independently (relaxed atomics plus one lock for `len`),
+    /// so a snapshot racing an in-flight `get_or_draw` may transiently
+    /// show, say, `hits + misses` disagreeing with the lookups a caller
+    /// has counted; quiesce the cache first when exact books matter.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            evictions: self.evictions(),
+            len: self.len(),
+            capacity: self.capacity(),
+        }
+    }
+
     /// Number of distinct deployments stored.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache poisoned").len()
+        self.map.lock().expect("cache poisoned").entries.len()
     }
 
     /// Whether the cache holds no deployments.
@@ -235,6 +374,59 @@ mod tests {
         assert_eq!(cache.misses(), 3);
         assert_eq!(cache.hits(), 3);
         assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn lru_eviction_bounds_occupancy_and_prefers_stale_entries() {
+        let cfg = NetConfig::table2();
+        let cache = DeploymentCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        let a = cache.get_or_draw(&cfg, 1);
+        let _b = cache.get_or_draw(&cfg, 2);
+        // Touch seed 1 so seed 2 is the LRU victim of the next insert.
+        let a_again = cache.get_or_draw(&cfg, 1);
+        assert!(Arc::ptr_eq(&a, &a_again));
+        let _c = cache.get_or_draw(&cfg, 3);
+        let stats = cache.stats();
+        assert_eq!(stats.len, 2, "capacity bound enforced");
+        assert_eq!(stats.evictions, 1, "one eviction for the third insert");
+        assert_eq!((stats.misses, stats.hits), (3, 1));
+        // Seed 1 survived (recently used), seed 2 did not.
+        let before = cache.misses();
+        let _ = cache.get_or_draw(&cfg, 1);
+        assert_eq!(cache.misses(), before, "seed 1 still resident");
+        let _ = cache.get_or_draw(&cfg, 2);
+        assert_eq!(cache.misses(), before + 1, "seed 2 was evicted");
+    }
+
+    #[test]
+    fn eviction_never_changes_drawn_values() {
+        // Thrash a tiny cache across many keys, then re-request each key
+        // and compare against an uncached draw: every re-drawn entry
+        // must be bitwise identical to what the evicted one was.
+        let cfg = NetConfig::table2();
+        let cache = DeploymentCache::with_capacity(2);
+        let originals: Vec<_> = (0..6u64)
+            .map(|seed| (seed, NetSim::draw_deployment(&cfg, seed)))
+            .collect();
+        for &(seed, _) in &originals {
+            let _ = cache.get_or_draw(&cfg, seed);
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 4);
+        for (seed, fresh) in &originals {
+            assert_eq!(
+                *cache.get_or_draw(&cfg, *seed),
+                *fresh,
+                "seed {seed} after eviction"
+            );
+        }
+        // An Arc held across the eviction of its entry stays usable.
+        let held = cache.get_or_draw(&cfg, 0);
+        for seed in 10..20u64 {
+            let _ = cache.get_or_draw(&cfg, seed);
+        }
+        assert_eq!(*held, NetSim::draw_deployment(&cfg, 0));
     }
 
     #[test]

@@ -20,22 +20,41 @@
 //!   `begin_frame`, `announce_now`). Handlers sweep members in ascending
 //!   node order so events enter the queue exactly as the full walk
 //!   inserted them (FIFO tie-breaking preserved).
-//! * **Lazy boundary replay** covers everyone else: each node carries a
-//!   cursor of boundaries already applied (`NodeRt::applied`), and
-//!   [`Runner::settle`] replays the missed
-//!   wake/`begin_frame`/sleep-decision steps — at their original
-//!   timestamps, consuming the node's own RNG substreams in the original
-//!   order — whenever the node is next touched (a delivery, a generated
-//!   update, or `into_stats`). A node that sleeps through a hundred
-//!   beacon intervals costs nothing in any of their handlers; its
-//!   boundary work happens once, in one cache-friendly pass.
+//! * **Lazy boundary settling** covers everyone else: each node carries
+//!   a cursor of boundaries already applied (`NodeRt::applied`), and
+//!   [`Runner::settle`] brings it up to date whenever the node is next
+//!   touched (a delivery, a generated update, or `into_stats`). *How*
+//!   the missed boundaries are settled is the
+//!   [`BoundaryEngine`](crate::BoundaryEngine) choice:
 //!
-//! Both paths make bit-for-bit the same per-node calls with the same
-//! arguments, so results are identical to the deleted per-node walk —
-//! `tests/run_active_vs_seed.rs` pins that against fingerprints captured
-//! from it. Adaptive mode keeps a full walk: closing every node's
-//! controller window (and tracing mean parameters) at each beacon is
-//! inherently O(n), and its per-window `q` changes feed the sleep coin.
+//!   - [`Geometric`](crate::BoundaryEngine::Geometric) (default) —
+//!     **geometric skip**: the skipped `(frame start, window end)` pairs
+//!     are settled in closed form. The length of each run of "sleep"
+//!     decisions is drawn directly from a geometric distribution
+//!     (`MacState::skip_boundaries`, one RNG draw per run instead of one
+//!     Bernoulli per boundary) and the run's energy is credited in O(1)
+//!     (`EnergyMeter::accrue_batch` + `jump_to_secs`): per skipped frame,
+//!     one ATIM window of idle plus one data phase of idle or sleep. A
+//!     node asleep through a hundred beacon intervals costs a handful of
+//!     arithmetic operations. This relaxes the per-node RNG stream
+//!     *layout* (values for a fixed seed move), but the per-boundary
+//!     decisions keep exactly the Figure-3 distribution —
+//!     `tests/boundary_equivalence.rs` pins the two engines together
+//!     statistically, and the `q = 0` / `q = 1` endpoints stay exact.
+//!
+//!   - [`Dense`](crate::BoundaryEngine::Dense) — exact per-boundary
+//!     replay at original timestamps, consuming the node's RNG
+//!     substreams in the original order: bit-for-bit identical to the
+//!     deleted per-node walk (`tests/run_active_vs_seed.rs` pins that
+//!     against fingerprints captured from it).
+//!
+//!   Boundaries a batch cannot see uniformly — a leading window end
+//!   whose sleep decision may hinge on an ATIM heard this window, or a
+//!   trailing frame start — are replayed exactly on both engines.
+//!
+//! Adaptive mode keeps a full walk: closing every node's controller
+//! window (and tracing mean parameters) at each beacon is inherently
+//! O(n), and its per-window `q` changes feed the sleep coin.
 
 use std::sync::Arc;
 
@@ -48,7 +67,7 @@ use pbbf_radio::{
 };
 use pbbf_topology::{NodeId, RandomDeployment};
 
-use crate::{ActiveSet, CachedDeployment, NetConfig, NetMode, NetRunStats};
+use crate::{ActiveSet, BoundaryEngine, CachedDeployment, NetConfig, NetMode, NetRunStats};
 
 /// The realistic simulator: construct once, [`NetSim::run`] per seed.
 ///
@@ -224,6 +243,16 @@ struct Runner<C: CollisionChannel> {
     /// beacon structure at all) and adaptive mode (every beacon closes
     /// every node's observation window, an inherently dense walk).
     lazy: bool,
+    /// Exact per-boundary replay instead of geometric-skip batching —
+    /// the effective [`BoundaryEngine`] choice (config plus the
+    /// `PBBF_DENSE_BOUNDARIES` override).
+    dense_boundaries: bool,
+    /// ATIM-window length in seconds — the per-frame idle stint every
+    /// settled boundary pair credits.
+    aw_secs: f64,
+    /// Data-phase length (beacon interval minus ATIM window) in seconds
+    /// — the per-frame stint credited idle or sleep by the coin.
+    data_secs: f64,
     k: usize,
     timing: PsmTiming,
     backoff: BackoffPolicy,
@@ -301,15 +330,19 @@ impl<C: CollisionChannel> Runner<C> {
         let expected_degree = cfg.delta.ceil() as usize + 1;
         let psm = !matches!(mode, NetMode::AlwaysOn);
         let adaptive = matches!(mode, NetMode::Adaptive(_));
+        let timing = PsmTiming::new(
+            SimDuration::from_secs(cfg.beacon_interval_secs),
+            SimDuration::from_secs(cfg.atim_window_secs),
+        );
         Self {
             psm,
             adaptive,
             lazy: psm && !adaptive,
+            dense_boundaries: cfg.boundary_engine.effective() == BoundaryEngine::Dense,
+            aw_secs: timing.atim_window().as_secs(),
+            data_secs: (timing.beacon_interval() - timing.atim_window()).as_secs(),
             k: cfg.k,
-            timing: PsmTiming::new(
-                SimDuration::from_secs(cfg.beacon_interval_secs),
-                SimDuration::from_secs(cfg.atim_window_secs),
-            ),
+            timing,
             backoff: BackoffPolicy::mica2(),
             data_air: phy.airtime(phy.data_bytes),
             atim_air: phy.airtime(phy.atim_bytes),
@@ -424,21 +457,35 @@ impl<C: CollisionChannel> Runner<C> {
         }
     }
 
-    /// The out-of-line replay body of [`Runner::settle`] — kept cold so
+    /// The out-of-line settle body of [`Runner::settle`] — kept cold so
     /// the settled-already fast path (every delivery in a busy network)
-    /// stays a two-compare inline check.
+    /// stays a two-compare inline check. Dispatches on the configured
+    /// [`BoundaryEngine`].
     fn settle_replay(&mut self, i: usize) {
         debug_assert!(self.lazy, "only the lazy path leaves nodes unsettled");
-        let fired = self.fired;
         // An unsettled node has had no events since before the boundaries
         // being replayed, so it cannot be mid-transmission.
         debug_assert!(
             !self.channel.is_transmitting(NodeId(i as u32)),
             "untouched node {i} cannot be mid-transmission"
         );
+        if self.dense_boundaries {
+            self.settle_dense(i, self.fired);
+        } else {
+            self.settle_geometric(i);
+        }
+    }
+
+    /// Exact per-boundary replay of node `i` up to boundary `target`:
+    /// wake/sleep transitions at their original timestamps, RNG draws in
+    /// their original order — bit-identical to the deleted per-node
+    /// walk. The whole settle under [`BoundaryEngine::Dense`]; the
+    /// single-boundary edges of a batch under
+    /// [`BoundaryEngine::Geometric`].
+    fn settle_dense(&mut self, i: usize, target: u32) {
         let beacon_nanos = self.timing.beacon_interval().as_nanos();
         let node = &mut self.nodes[i];
-        while node.applied < fired {
+        while node.applied < target {
             let boundary = node.applied;
             node.applied = boundary + 1;
             let frame = boundary >> 1;
@@ -465,6 +512,85 @@ impl<C: CollisionChannel> Runner<C> {
                 }
             }
         }
+    }
+
+    /// Geometric-skip settling of node `i` up to [`Runner::fired`]: the
+    /// interior `(frame start, window end)` pairs are jumped over in
+    /// closed form; only the batch's ragged edges replay exactly.
+    fn settle_geometric(&mut self, i: usize) {
+        let fired = self.fired;
+        // A leading window end sees state the batch cannot assume away —
+        // an ATIM heard in that window keeps the node awake
+        // deterministically — so it replays exactly.
+        if self.nodes[i].applied & 1 == 1 {
+            self.settle_dense(i, (self.nodes[i].applied + 1).min(fired));
+        }
+        let pairs = (fired - self.nodes[i].applied) / 2;
+        if pairs > 0 {
+            self.settle_pairs_batched(i, pairs);
+        }
+        // A trailing frame start (the node is being touched inside an
+        // ATIM window) is a lone wake: replay exactly.
+        if self.nodes[i].applied < fired {
+            self.settle_dense(i, fired);
+        }
+    }
+
+    /// The closed-form core: settles `pairs` consecutive
+    /// `(frame start, window end)` boundary pairs of idle node `i` with
+    /// one [`MacState::skip_boundaries`] batch (geometric run-length
+    /// draws) and O(1) energy accounting, instead of `2 × pairs`
+    /// replayed steps.
+    ///
+    /// Per skipped frame the node is awake for the ATIM window
+    /// (`aw_secs` idle) and then idle or asleep for the data phase
+    /// (`data_secs`) by that window end's coin; the last pair's data
+    /// phase lies *beyond* the settled span, so its coin only fixes the
+    /// state the node leaves in.
+    fn settle_pairs_batched(&mut self, i: usize, pairs: u32) {
+        let g0 = self.nodes[i].applied / 2;
+        let node = &mut self.nodes[i];
+        debug_assert_eq!(node.applied & 1, 0, "batch must start at a frame start");
+        // Frame start `g0`: the node is awake for the ATIM window
+        // whatever state it entered in. A real transition (not a jump):
+        // it also closes the books on the stretch since the node's last
+        // transition, in whatever state that stretch was spent.
+        node.meter
+            .set_state_secs(self.frame_secs[g0 as usize], RadioState::Idle);
+        if !node.awake {
+            node.awake = true;
+            node.awake_since = self.timing.frame_time(u64::from(g0));
+        }
+        let summary = node.mac.skip_boundaries(pairs);
+        let stays_inside = summary.stays_before_last(pairs);
+        let sleeps_inside = pairs - 1 - stays_inside;
+        node.meter
+            .accrue_batch(RadioState::Idle, u64::from(pairs), self.aw_secs);
+        node.meter
+            .accrue_batch(RadioState::Idle, u64::from(stays_inside), self.data_secs);
+        node.meter
+            .accrue_batch(RadioState::Sleep, u64::from(sleeps_inside), self.data_secs);
+        let last = g0 + pairs - 1;
+        let ends_awake = summary.ends_awake(pairs);
+        node.meter.jump_to_secs(
+            self.window_secs[last as usize],
+            if ends_awake {
+                RadioState::Idle
+            } else {
+                RadioState::Sleep
+            },
+        );
+        node.awake = ends_awake;
+        if ends_awake {
+            if let Some(j) = summary.last_sleep {
+                // Slept last at window end `g0 + j`, so it has been
+                // awake since the following frame start.
+                node.awake_since = self.timing.frame_time(u64::from(g0 + j + 1));
+            }
+            // No sleeps at all: awake since before the batch (or since
+            // the wake at `g0` above).
+        }
+        node.applied = 2 * (g0 + pairs);
     }
 
     fn on_frame_start(&mut self, now: SimTime) {
@@ -835,12 +961,18 @@ impl<C: CollisionChannel> Runner<C> {
             .iter()
             .map(|n| n.meter.joules_at(self.duration))
             .collect();
+        let state_secs = self
+            .nodes
+            .iter()
+            .map(|n| n.meter.durations_at(self.duration))
+            .collect();
         NetRunStats {
             source: self.source,
             hop_distance,
             gen_times: self.gen_times,
             receptions: self.receptions,
             energy_joules,
+            state_secs,
             data_tx: self.data_tx,
             atim_tx: self.atim_tx,
             immediate_tx: self.immediate_tx,
@@ -1058,6 +1190,72 @@ mod tests {
         for (u, row) in s.receptions.iter().enumerate() {
             assert_eq!(row[s.source.index()], Some(s.gen_times[u]));
         }
+    }
+
+    #[test]
+    fn deterministic_endpoints_identical_across_boundary_engines() {
+        // q = 0 (PSM) and q = 1 consume no sleep randomness on either
+        // engine, and the Table-2 boundary instants are exactly
+        // representable, so whole runs agree bit for bit — the strongest
+        // cheap cross-check of the batched pair accounting (an off-by-one
+        // in the credited ATIM windows or data phases shows up here).
+        let mut dense = cfg(300.0);
+        dense.boundary_engine = BoundaryEngine::Dense;
+        let geo = cfg(300.0);
+        assert_eq!(geo.boundary_engine, BoundaryEngine::Geometric);
+        for seed in [1u64, 5] {
+            for mode in [
+                NetMode::SleepScheduled(PbbfParams::PSM),
+                pbbf(0.25, 1.0),
+                pbbf(1.0, 0.0),
+            ] {
+                let a = NetSim::new(dense, mode).run(seed);
+                let b = NetSim::new(geo, mode).run(seed);
+                assert_eq!(a, b, "mode {mode:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_lazy_modes_ignore_the_boundary_engine() {
+        use pbbf_core::adaptive::AdaptiveConfig;
+        let mut dense = cfg(200.0);
+        dense.boundary_engine = BoundaryEngine::Dense;
+        let geo = cfg(200.0);
+        for mode in [
+            NetMode::AlwaysOn,
+            NetMode::Adaptive(AdaptiveConfig::default_for(
+                PbbfParams::new(0.1, 0.3).unwrap(),
+            )),
+        ] {
+            assert_eq!(
+                NetSim::new(dense, mode).run(7),
+                NetSim::new(geo, mode).run(7),
+                "mode {mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn geometric_engine_is_deterministic_and_reasonable() {
+        // Mid-q: the engines differ bitwise (different stream layouts)
+        // but the geometric engine must stay seed-deterministic and
+        // produce the same qualitative physics as dense.
+        let sim = NetSim::new(cfg(300.0), pbbf(0.5, 0.5));
+        assert_eq!(sim.run(42), sim.run(42));
+        let mut dense = cfg(300.0);
+        dense.boundary_engine = BoundaryEngine::Dense;
+        let d = NetSim::new(dense, pbbf(0.5, 0.5)).run(42);
+        let g = sim.run(42);
+        assert_ne!(g, d, "mid-q stream layouts legitimately differ");
+        assert!(g.mean_delivery_ratio() > 0.8, "{}", g.mean_delivery_ratio());
+        // Energy totals agree to a few percent even on single runs: the
+        // q coin only modulates the data-phase residency.
+        let (ge, de) = (g.energy_per_update(), d.energy_per_update());
+        assert!(
+            (ge - de).abs() / de < 0.1,
+            "energy geometric {ge} vs dense {de}"
+        );
     }
 
     #[test]

@@ -21,6 +21,13 @@ pub struct NetRunStats {
     pub receptions: Vec<Vec<Option<SimTime>>>,
     /// Per-node joules consumed over the whole run.
     pub energy_joules: Vec<f64>,
+    /// Per-node seconds of radio-state residency over the whole run, as
+    /// `[idle, transmit, sleep]` — the raw durations behind
+    /// `energy_joules`. Sleeping happens only in whole data phases, so
+    /// `sleep / (BI − AW)` is the node's slept-beacon count — the
+    /// observable the boundary-engine statistical-equivalence suite
+    /// compares.
+    pub state_secs: Vec<[f64; 3]>,
     /// Data transmissions (normal + immediate).
     pub data_tx: u64,
     /// ATIM transmissions.
@@ -133,6 +140,7 @@ mod tests {
                 vec![Some(t(100.0)), Some(t(103.0)), None, None],
             ],
             energy_joules: vec![2.0, 2.0, 1.0, 1.0],
+            state_secs: vec![[100.0, 1.0, 99.0]; 4],
             data_tx: 5,
             atim_tx: 4,
             immediate_tx: 1,
@@ -182,6 +190,7 @@ mod tests {
             gen_times: vec![],
             receptions: vec![],
             energy_joules: vec![0.0],
+            state_secs: vec![[0.0, 0.0, 0.0]],
             data_tx: 0,
             atim_tx: 0,
             immediate_tx: 0,

@@ -63,6 +63,32 @@ proptest! {
     }
 }
 
+proptest! {
+    /// LRU eviction is invisible to values: whatever the interleaving of
+    /// keys against a tiny capacity, every lookup — hit, first draw, or
+    /// re-draw of an evicted entry — serves the same bits a fresh
+    /// uncached draw would, and occupancy never exceeds the bound.
+    #[test]
+    fn eviction_never_changes_drawn_values(
+        capacity in 1usize..4,
+        lookups in prop::collection::vec((0u64..6, 10usize..14), 8..20),
+    ) {
+        let cache = DeploymentCache::with_capacity(capacity);
+        for &(seed, nodes) in &lookups {
+            let mut cfg = NetConfig::table2();
+            cfg.nodes = nodes;
+            let served = cache.get_or_draw(&cfg, seed);
+            assert_bitwise_identical(&served, &NetSim::draw_deployment(&cfg, seed));
+            prop_assert!(cache.len() <= capacity, "occupancy over bound");
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.capacity, capacity);
+        prop_assert_eq!(stats.hits + stats.misses, lookups.len() as u64);
+        // Every insert beyond the bound evicted exactly one entry.
+        prop_assert_eq!(stats.evictions, stats.misses.saturating_sub(capacity as u64));
+    }
+}
+
 /// Concurrent first-touch: several threads race `get_or_draw` on the same
 /// fresh keys; every caller must observe the fresh-draw value and end up
 /// sharing one entry per key.

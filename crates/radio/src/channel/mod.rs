@@ -82,6 +82,31 @@ pub trait CollisionChannel {
 /// Sentinel mark for "corrupted before any later event could matter".
 const CORRUPT: u64 = u64::MAX;
 
+/// Sentinel for "no active transmission" in [`NodeAir::tx_slot`].
+const NO_SLOT: u32 = u32::MAX;
+
+/// One node's incremental air state, packed into a single 16-byte record
+/// so the O(degree) begin/end loops and the carrier-sense read touch one
+/// cache line per node instead of three parallel arrays — at 10 000
+/// nodes the split layout cost three scattered loads per neighbor.
+#[derive(Debug, Clone, Copy)]
+struct NodeAir {
+    /// In-flight transmissions audible at the node.
+    audible: u32,
+    /// Slot of the node's own active transmission, or [`NO_SLOT`].
+    tx_slot: u32,
+    /// Monotone corruption clock (see the [`Channel`] docs).
+    mark: u64,
+}
+
+impl NodeAir {
+    const IDLE: Self = Self {
+        audible: 0,
+        tx_slot: NO_SLOT,
+        mark: 0,
+    };
+}
+
 /// One in-flight transmission, stored in a recycled slot.
 #[derive(Debug, Clone)]
 struct ActiveTx {
@@ -152,12 +177,9 @@ pub struct Channel {
     /// Active transmissions, slot-addressed; freed slots are recycled.
     slots: Vec<Option<ActiveTx>>,
     free_slots: Vec<u32>,
-    /// Node → its active-transmission slot.
-    tx_slot: Vec<Option<u32>>,
-    /// Per-node count of in-flight transmissions audible at the node.
-    audible: Vec<u32>,
-    /// Per-node monotone corruption clock (see the type-level docs).
-    mark: Vec<u64>,
+    /// Per-node audible count, own-transmission slot, and corruption
+    /// clock, interleaved for cache locality (see [`NodeAir`]).
+    air: Vec<NodeAir>,
     active: usize,
     /// Recycled `rx_marks` buffers, cleared, ready for the next begin.
     spare_marks: Vec<Vec<u64>>,
@@ -174,9 +196,7 @@ impl Channel {
             topology,
             slots: Vec::new(),
             free_slots: Vec::new(),
-            tx_slot: vec![None; n],
-            audible: vec![0; n],
-            mark: vec![0; n],
+            air: vec![NodeAir::IDLE; n],
             active: 0,
             spare_marks: Vec::new(),
         }
@@ -198,13 +218,14 @@ impl Channel {
     /// transmitting itself or can hear an ongoing transmission.
     #[must_use]
     pub fn carrier_busy(&self, node: NodeId) -> bool {
-        self.tx_slot[node.index()].is_some() || self.audible[node.index()] > 0
+        let a = &self.air[node.index()];
+        a.tx_slot != NO_SLOT || a.audible > 0
     }
 
     /// Whether `node` is currently transmitting.
     #[must_use]
     pub fn is_transmitting(&self, node: NodeId) -> bool {
-        self.tx_slot[node.index()].is_some()
+        self.air[node.index()].tx_slot != NO_SLOT
     }
 
     /// Number of in-flight transmissions.
@@ -227,26 +248,26 @@ impl Channel {
     pub fn begin_tx(&mut self, now: SimTime, frame: Frame, duration: SimDuration) -> SimTime {
         let src = frame.src;
         assert!(
-            self.tx_slot[src.index()].is_none(),
+            self.air[src.index()].tx_slot == NO_SLOT,
             "{src} began a transmission while already transmitting"
         );
         let mut rx_marks = self.spare_marks.pop().unwrap_or_default();
         for &r in self.topology.neighbors(src) {
-            let ri = r.index();
+            let a = &mut self.air[r.index()];
             // Corrupted from the start: the receiver already hears another
             // transmitter, or is mid-transmission itself.
-            let corrupt = self.audible[ri] > 0 || self.tx_slot[ri].is_some();
+            let corrupt = a.audible > 0 || a.tx_slot != NO_SLOT;
             // Registering bumps the receiver's clock, corrupting every
             // *other* in-flight transmission delivering to it; our own
             // snapshot is taken after the bump so we don't corrupt
             // ourselves.
-            self.audible[ri] += 1;
-            self.mark[ri] += 1;
-            rx_marks.push(if corrupt { CORRUPT } else { self.mark[ri] });
+            a.audible += 1;
+            a.mark += 1;
+            rx_marks.push(if corrupt { CORRUPT } else { a.mark });
         }
         // A radio cannot receive while transmitting: beginning kills any
         // reception in progress at the source.
-        self.mark[src.index()] += 1;
+        self.air[src.index()].mark += 1;
         let end = now + duration;
         let tx = ActiveTx {
             frame,
@@ -264,7 +285,8 @@ impl Channel {
                 (self.slots.len() - 1) as u32
             }
         };
-        self.tx_slot[src.index()] = Some(slot);
+        debug_assert_ne!(slot, NO_SLOT, "slot index collides with sentinel");
+        self.air[src.index()].tx_slot = slot;
         self.active += 1;
         end
     }
@@ -294,9 +316,9 @@ impl Channel {
     /// Panics if `src` has no transmission in flight or `now` is not its
     /// scheduled end time.
     pub fn end_tx_into(&mut self, now: SimTime, src: NodeId, out: &mut Vec<Delivery>) -> Frame {
-        let slot = self.tx_slot[src.index()]
-            .take()
-            .unwrap_or_else(|| panic!("{src} has no transmission in flight"));
+        let slot = self.air[src.index()].tx_slot;
+        assert!(slot != NO_SLOT, "{src} has no transmission in flight");
+        self.air[src.index()].tx_slot = NO_SLOT;
         let tx = self.slots[slot as usize]
             .take()
             .expect("slot holds the active transmission");
@@ -307,11 +329,11 @@ impl Channel {
         let neighbors = self.topology.neighbors(src);
         out.reserve(neighbors.len());
         for (&r, &m) in neighbors.iter().zip(&tx.rx_marks) {
-            let ri = r.index();
-            self.audible[ri] -= 1;
+            let a = &mut self.air[r.index()];
+            a.audible -= 1;
             out.push(Delivery {
                 receiver: r,
-                clean: m == self.mark[ri] && self.tx_slot[ri].is_none(),
+                clean: m == a.mark && a.tx_slot == NO_SLOT,
                 started: tx.start,
             });
         }

@@ -101,6 +101,35 @@ impl EnergyMeter {
         self.state = state;
     }
 
+    /// Credits `k` detached intervals of `per_boundary_secs` each to
+    /// `state` without moving the meter's clock — the closed-form half
+    /// of batched idle-boundary settling (see
+    /// [`StateClock::accrue_batch`]). Pair with
+    /// [`EnergyMeter::jump_to_secs`] once the batch's span is fully
+    /// credited.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_boundary_secs` is negative.
+    #[inline]
+    pub fn accrue_batch(&mut self, state: RadioState, k: u64, per_boundary_secs: f64) {
+        self.clock.accrue_batch(state.index(), k, per_boundary_secs);
+    }
+
+    /// Moves the meter to `secs` in `state` **without** charging the
+    /// elapsed interval — it must already have been credited via
+    /// [`EnergyMeter::accrue_batch`]. The batched counterpart of
+    /// [`EnergyMeter::set_state_secs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` precedes an earlier transition.
+    #[inline]
+    pub fn jump_to_secs(&mut self, secs: f64, state: RadioState) {
+        self.clock.jump_to(secs, state.index());
+        self.state = state;
+    }
+
     /// Seconds spent in each state as of `now` (idle, transmit, sleep).
     ///
     /// # Panics
@@ -183,6 +212,31 @@ mod tests {
             a.joules_at(t(200.0)).to_bits(),
             b.joules_at(t(200.0)).to_bits()
         );
+    }
+
+    #[test]
+    fn batched_accrual_matches_dense_duty_cycle() {
+        // The PSM duty cycle of `psm_duty_cycle_energy`, settled in
+        // closed form: 10 frames of 1 s idle + 9 s sleep.
+        let mut dense = EnergyMeter::new(PowerProfile::MICA2);
+        for f in 0..10 {
+            let start = f64::from(f) * 10.0;
+            dense.set_state(t(start), RadioState::Idle);
+            dense.set_state(t(start + 1.0), RadioState::Sleep);
+        }
+        let mut batched = EnergyMeter::new(PowerProfile::MICA2);
+        batched.accrue_batch(RadioState::Idle, 10, 1.0);
+        batched.accrue_batch(RadioState::Sleep, 9, 9.0);
+        batched.jump_to_secs(91.0, RadioState::Sleep);
+        assert_eq!(batched.state(), RadioState::Sleep);
+        assert!(!batched.is_awake());
+        let a = dense.joules_at(t(100.0));
+        let b = batched.joules_at(t(100.0));
+        assert!((a - b).abs() < 1e-12, "dense {a} vs batched {b}");
+        // The meter keeps working normally after the jump.
+        batched.set_state(t(100.0), RadioState::Idle);
+        dense.set_state(t(100.0), RadioState::Idle);
+        assert!((dense.joules_at(t(110.0)) - batched.joules_at(t(110.0))).abs() < 1e-12);
     }
 
     #[test]

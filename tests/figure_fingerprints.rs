@@ -130,9 +130,15 @@ fn grid() -> Vec<(String, u64)> {
     out
 }
 
-/// Captured before the Arc-shared-topology refactor (per-sweep
-/// `DeploymentCache`, per-run topology clone); the shared/registry code
-/// paths must reproduce every value bit for bit.
+/// Captured at the PR that introduced the geometric-skip boundary engine
+/// (the default `BoundaryEngine::Geometric` relaxes per-node RNG stream
+/// layout, so the net-simulator exhibits — fig13–fig18, latency-tail,
+/// k-trade-off — moved once; ideal/percolation exhibits and the
+/// adaptive/gossip extensions are untouched). The dense engine remains
+/// pinned to the pre-geometric goldens in
+/// `crates/net-sim/tests/run_active_vs_seed.rs`, and
+/// `tests/boundary_equivalence.rs` ties the engines together in
+/// distribution.
 const EXPECTED: &[(&str, u64)] = &[
     ("table1", 0x72ea8714b4828841),
     ("table2", 0xa85f3108552919f6),
@@ -145,16 +151,16 @@ const EXPECTED: &[(&str, u64)] = &[
     ("fig10", 0xd72be1505aa63aaa),
     ("fig11", 0x93da93b19a7e58bc),
     ("fig12", 0xd9811d7bda8f5f74),
-    ("fig13", 0x1007c1ef0f2e096b),
-    ("fig14", 0x36f6a3b8e03f3a0f),
-    ("fig15", 0xd2b4bdf2fabfc592),
-    ("fig16", 0x5bccaab972d622b6),
-    ("fig17", 0x47bc1d8ab88e0947),
-    ("fig18", 0x0f912dd6d7cfd87e),
+    ("fig13", 0x00b3b1c2d52fdf9e),
+    ("fig14", 0xad851ed9cf53c87c),
+    ("fig15", 0x15d75dbdf0a3826a),
+    ("fig16", 0xc5d6cad18335891b),
+    ("fig17", 0x464ba150b19d4b56),
+    ("fig18", 0xf8a9c35dc57004ea),
     ("ext_gossip_vs_pbbf", 0x529b19142f3c0a0f),
     ("ext_adaptive_convergence", 0xad3cc605db710c0e),
-    ("ext_latency_tail", 0x1dec78f5e1885394),
-    ("ext_k_tradeoff", 0x5293d5df17b57c3d),
+    ("ext_latency_tail", 0xbaf8ccca58536ff0),
+    ("ext_k_tradeoff", 0xed6750dac47bf4c6),
 ];
 
 #[test]
