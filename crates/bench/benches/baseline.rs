@@ -46,12 +46,17 @@
 //!   under ~15 ms of simulation), so the proof that the shared path
 //!   drops it is the allocation-count test
 //!   `crates/bench/tests/alloc_shared.rs`, not a wall-clock ratio.
+//! * `net_sim_run_sparse_flood_replicas` vs `net_sim_run_sparse_flood_serial`
+//!   — R = 8 Monte Carlo replicas of a sparse-flood scenario over one
+//!   shared deployment, advanced in lockstep by `NetSim::run_replicas`
+//!   against the serial one-`run_on`-per-seed loop (bitwise-equal
+//!   results; the acceptance criterion is ≥1.5× here).
 //! * `fig06_quick_effort` — one full figure regeneration at quick effort.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pbbf_des::{EventQueue, SimDuration, SimRng, SimTime};
 use pbbf_experiments::{fig06, Effort};
-use pbbf_net_sim::{BoundaryEngine, CachedDeployment, NetConfig, NetMode, NetSim};
+use pbbf_net_sim::{BoundaryEngine, CachedDeployment, DeploymentCache, NetConfig, NetMode, NetSim};
 use pbbf_radio::{BruteChannel, Channel, CollisionChannel, Frame};
 use pbbf_topology::{
     area_for_density, unit_disk_edges, unit_disk_edges_brute, NodeId, Point2, RandomDeployment,
@@ -250,7 +255,11 @@ fn net_sim_run_sparse(c: &mut Criterion) {
     shared_cfg.lambda = 0.000125;
     let mut batched_cfg = shared_cfg;
     batched_cfg.boundary_engine = BoundaryEngine::Geometric;
-    let deployment = NetSim::draw_deployment(&cfg, 4);
+    // Resolved through the process-wide registry (not a direct draw) so
+    // the report's cache counters reflect how the sweeps actually obtain
+    // deployments; the flood kernel below re-resolves the same scenario
+    // and hits.
+    let deployment = DeploymentCache::global().get_or_draw(&cfg, 4);
     let mode = NetMode::SleepScheduled(pbbf_core::PbbfParams::new(0.25, 0.05).expect("valid"));
     let sim = NetSim::new(cfg, mode);
     let shared_sim = NetSim::new(shared_cfg, mode);
@@ -282,9 +291,77 @@ fn net_sim_run_sparse(c: &mut Criterion) {
     c.bench_function("net_sim_run_sparse_q05_draw", |b| b.iter(|| sim.run(4)));
 }
 
+fn net_sim_run_flood_replicas(c: &mut Criterion) {
+    // Lockstep replica batching on the flood path: R = 8 Monte Carlo
+    // replicas of a sparse-flood scenario (one flood, then two hours of
+    // beacon steady state at the 802.11-style 100 ms beacon interval),
+    // all over one registry-shared deployment. The mode is PBBF(0.25, 1)
+    // — the always-awake corner, whose sleep coin is deterministic — so
+    // the horizon's cost is the beacon-boundary machinery itself, which
+    // is exactly what the batch shares: the serial kernel pays the
+    // 144k-event boundary walk once per replica, the batched kernel
+    // (`NetSim::run_replicas`) pays it once per *batch*, sweeping all
+    // lanes per event, with per-lane event heaps keeping each replica's
+    // flood burst cache-hot. The boundary-seconds tables and the
+    // hop-distance BFS are likewise computed once per batch. Results are
+    // asserted bitwise equal before timing, so the pair measures the
+    // same work — `bench_check` enforces the speedup as a
+    // machine-independent RATIO_RULE (an operation-count gap, not a
+    // cache artifact: ~7/8 of the shared-event work is deleted).
+    let mut cfg = NetConfig::table2();
+    cfg.nodes = 1000;
+    cfg.duration_secs = 7200.0;
+    cfg.delta = 10.0;
+    cfg.lambda = 0.000125;
+    cfg.beacon_interval_secs = 0.1;
+    cfg.atim_window_secs = 0.01;
+    cfg.boundary_engine = BoundaryEngine::Geometric;
+    const SEEDS: [u64; 8] = [4, 11, 18, 25, 32, 39, 46, 53];
+    let deployment = DeploymentCache::global().get_or_draw(&cfg, 4);
+    let mode = NetMode::SleepScheduled(pbbf_core::PbbfParams::new(0.25, 1.0).expect("valid"));
+    let sim = NetSim::new(cfg, mode);
+    let serial: Vec<_> = SEEDS.iter().map(|&s| sim.run_on(s, &deployment)).collect();
+    assert_eq!(
+        sim.run_replicas(&SEEDS, &deployment),
+        serial,
+        "lockstep batching must be bitwise exact"
+    );
+    c.bench_function("net_sim_run_sparse_flood_replicas", |b| {
+        b.iter(|| sim.run_replicas(black_box(&SEEDS), &deployment))
+    });
+    c.bench_function("net_sim_run_sparse_flood_serial", |b| {
+        b.iter(|| {
+            SEEDS
+                .iter()
+                .map(|&s| sim.run_on(black_box(s), &deployment))
+                .collect::<Vec<_>>()
+        })
+    });
+}
+
 fn figure_quick(c: &mut Criterion) {
     let effort = Effort::quick();
     c.bench_function("fig06_quick_effort", |b| b.iter(|| fig06(&effort, 2005)));
+}
+
+/// Not a kernel: snapshots the process-wide deployment registry's
+/// counters into the JSON report's `"extras"` section. Listed last in
+/// the group so it sees every kernel's cache traffic (the sparse and
+/// flood kernels resolve their deployments through
+/// [`DeploymentCache::global`], as the sweeps do).
+fn deployment_cache_stats(_c: &mut Criterion) {
+    let s = DeploymentCache::global().stats();
+    criterion::set_json_extra(
+        "deployment_cache",
+        format!(
+            "{{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"len\": {}, \"capacity\": {}}}",
+            s.hits, s.misses, s.evictions, s.len, s.capacity
+        ),
+    );
+    println!(
+        "deployment cache: {} hits, {} misses, {} evictions ({}/{} entries)",
+        s.hits, s.misses, s.evictions, s.len, s.capacity
+    );
 }
 
 criterion_group! {
@@ -294,6 +371,7 @@ criterion_group! {
         .measurement_time(std::time::Duration::from_secs(3))
         .warm_up_time(std::time::Duration::from_millis(300));
     targets = deployment_edges, deployment_build_10k, event_queue_churn, channel_churn_dense,
-        net_sim_run, net_sim_run_dense, net_sim_run_sparse, figure_quick
+        net_sim_run, net_sim_run_dense, net_sim_run_sparse, net_sim_run_flood_replicas,
+        figure_quick, deployment_cache_stats
 }
 criterion_main!(baseline);

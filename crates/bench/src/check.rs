@@ -160,6 +160,11 @@ pub const RATIO_RULES: &[RatioRule] = &[
         slow: "net_sim_run_sparse_q05_shared",
         min_ratio: 2.0, // ~3x observed (geometric skip vs per-boundary idle walk)
     },
+    RatioRule {
+        fast: "net_sim_run_sparse_flood_replicas",
+        slow: "net_sim_run_sparse_flood_serial",
+        min_ratio: 1.5, // lockstep replica batch vs one-run-at-a-time serial loop
+    },
 ];
 
 /// Checks the [`RATIO_RULES`] within one fresh run. Returns the report

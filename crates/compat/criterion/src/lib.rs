@@ -28,6 +28,30 @@ fn process_registry() -> &'static Mutex<Vec<BenchResult>> {
     REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
 }
 
+/// Process-wide non-timing sections for the JSON report, keyed by name.
+/// The shim cannot depend on the crates whose state is worth reporting
+/// (deployment-cache counters live above it in the graph), so benches
+/// push pre-rendered JSON values here and `write_json` emits them under
+/// an `"extras"` object.
+fn extras_registry() -> &'static Mutex<Vec<(String, String)>> {
+    static EXTRAS: OnceLock<Mutex<Vec<(String, String)>>> = OnceLock::new();
+    EXTRAS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Attaches a pre-rendered JSON value to the process's bench report,
+/// written as `"extras": {"<key>": <raw_json>, ...}`. `raw_json` must be
+/// a valid JSON value (object, number, string...); it is emitted
+/// verbatim. Re-setting a key overwrites its value; call order fixes the
+/// emission order. Consumers that only care about timings can ignore the
+/// section — `BenchReport::parse` in `pbbf-bench` tolerates it.
+pub fn set_json_extra(key: &str, raw_json: String) {
+    let mut extras = extras_registry().lock().expect("extras registry poisoned");
+    match extras.iter_mut().find(|(k, _)| k == key) {
+        Some((_, v)) => *v = raw_json,
+        None => extras.push((key.to_string(), raw_json)),
+    }
+}
+
 /// An opaque-to-the-optimizer identity function.
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
@@ -194,6 +218,17 @@ fn write_json(path: &Path, results: &[BenchResult]) -> std::io::Result<()> {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"schema\": \"pbbf-bench-v1\",");
     let _ = writeln!(out, "  \"unix_time\": {unix_secs},");
+    {
+        let extras = extras_registry().lock().expect("extras registry poisoned");
+        if !extras.is_empty() {
+            let _ = writeln!(out, "  \"extras\": {{");
+            for (i, (key, value)) in extras.iter().enumerate() {
+                let comma = if i + 1 < extras.len() { "," } else { "" };
+                let _ = writeln!(out, "    \"{}\": {value}{comma}", key.replace('"', "'"));
+            }
+            let _ = writeln!(out, "  }},");
+        }
+    }
     let _ = writeln!(out, "  \"benches\": [");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
@@ -303,6 +338,34 @@ mod tests {
         assert!(r.min_ns <= r.median_ns);
         assert!(r.mean_ns > 0.0);
         c.results.clear(); // avoid Drop writing when BENCH_OUTPUT_JSON is set
+    }
+
+    #[test]
+    fn extras_are_emitted_as_a_json_section() {
+        set_json_extra("unit_test_counters", "{\"hits\": 3, \"misses\": 1}".into());
+        set_json_extra("unit_test_counters", "{\"hits\": 4, \"misses\": 1}".into());
+        let tmp = std::env::temp_dir().join(format!(
+            "pbbf-criterion-extras-{}-{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let results = [BenchResult {
+            name: "k".into(),
+            mean_ns: 1.0,
+            median_ns: 1.0,
+            min_ns: 1.0,
+            samples: 1,
+        }];
+        write_json(&tmp, &results).unwrap();
+        let text = std::fs::read_to_string(&tmp).unwrap();
+        std::fs::remove_file(&tmp).ok();
+        assert!(text.contains("\"extras\": {"), "{text}");
+        // Last write wins for a re-set key.
+        assert!(
+            text.contains("\"unit_test_counters\": {\"hits\": 4, \"misses\": 1}"),
+            "{text}"
+        );
+        assert!(text.contains("\"benches\": ["), "{text}");
     }
 
     /// Regression test for the PR-3 gotcha: cargo runs bench binaries in

@@ -102,7 +102,18 @@ impl Geometric {
             return Err(InvalidProbability);
         }
         let ln_one_minus_p = if p <= Self::WALK_THRESHOLD {
-            (1.0 - p).ln()
+            let direct = (1.0 - p).ln();
+            if direct == 0.0 {
+                // p below one f64 ulp of 1.0: `1.0 - p` rounds to exactly
+                // 1.0 and the cached log underflows to zero, which would
+                // turn every sample into a 0/0 or x/0. `ln_1p` keeps the
+                // full precision of −p there. (Draw streams for all
+                // larger p are untouched: this branch only replaces the
+                // degenerate zero.)
+                (-p).ln_1p()
+            } else {
+                direct
+            }
         } else {
             0.0
         };
@@ -222,6 +233,49 @@ mod tests {
         let mut rng = Splitmix(3);
         for _ in 0..1000 {
             assert_eq!(g.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn near_zero_p_keeps_ln_precision() {
+        // p = 1e-12 still has ~4 significant digits in `1 - p`, so the
+        // cached ln must be finite, negative, and within rounding of the
+        // exact −p − p²/2 − …; a run-length sample then lands around
+        // 1/p, not at 0 or u64::MAX.
+        let g = Geometric::new(1e-12).unwrap();
+        assert!(g.ln_one_minus_p < 0.0 && g.ln_one_minus_p.is_finite());
+        assert!(
+            (g.ln_one_minus_p / -1e-12 - 1.0).abs() < 1e-3,
+            "ln(1 - p) = {} drifted from -p",
+            g.ln_one_minus_p
+        );
+        let mut rng = Splitmix(17);
+        for _ in 0..64 {
+            let k = g.sample(&mut rng);
+            assert!(
+                (10_000_000..u64::MAX).contains(&k),
+                "run {k} is not geometric-of-tiny-p sized"
+            );
+        }
+    }
+
+    #[test]
+    fn subnormal_p_saturates_instead_of_dividing_by_zero() {
+        // Below one ulp of 1.0, `1.0 - p` rounds to 1.0 exactly; without
+        // the ln_1p fallback the cached log would be 0.0 and every
+        // sample would be 0/0 (NaN → 0) or x/0. With it, runs saturate
+        // at astronomically large values, as the distribution demands.
+        for p in [1e-17, 1e-100, 1e-300, f64::MIN_POSITIVE] {
+            let g = Geometric::new(p).unwrap();
+            assert!(
+                g.ln_one_minus_p < 0.0 && g.ln_one_minus_p.is_finite(),
+                "p = {p}: cached ln {} must stay finite and negative",
+                g.ln_one_minus_p
+            );
+            let mut rng = Splitmix(23);
+            for _ in 0..64 {
+                assert!(g.sample(&mut rng) > 1u64 << 50, "p = {p}");
+            }
         }
     }
 

@@ -157,19 +157,29 @@ pub fn ext_latency_tail(effort: &Effort, seed: u64) -> Figure {
     let mut p50 = Series::new("p50");
     let mut p90 = Series::new("p90");
     let mut p99 = Series::new("p99");
-    // Point-level fan-out: all (q, run) jobs schedule together; per-q
-    // histograms fold in run order, so percentiles are thread-count
-    // invariant. Run r's deployment is shared across the q points via
-    // the process-wide registry (the q sweep compares operating points
-    // on identical scenarios) — and with the fig13–16 sweeps, which use
-    // the same geometry and deployment-seed stream.
-    let cache = DeploymentCache::global();
+    // (q, replica-chunk) fan-out: chunk boundaries are deterministic and
+    // per-q histograms fold in run order, so percentiles are
+    // thread-count invariant. Each run's deployment resolves through the
+    // process-wide registry inside the chunk job and is shared across
+    // the q points (the q sweep compares operating points on identical
+    // scenarios) — and with the fig13–16 sweeps, which use the same
+    // geometry and deployment-seed stream.
     let deploy_seed = mix(seed, crate::net_figs::DEPLOY_SALT);
-    let all_stats = pbbf_parallel::par_run_grouped(qs.len(), effort.runs as usize, |qi, r| {
-        let mode = NetMode::SleepScheduled(PbbfParams::new(0.5, qs[qi]).expect("valid"));
-        let deployment = cache.get_or_draw(&cfg, mix(deploy_seed, r as u64));
-        NetSim::new(cfg, mode).run_on(mix(seed, (qi as u64) << 32 | r as u64), &deployment)
-    });
+    let all_stats = pbbf_parallel::par_run_grouped_chunked(
+        qs.len(),
+        effort.runs as usize,
+        crate::net_figs::REPLICA_CHUNK,
+        |qi, rs| {
+            let mode = NetMode::SleepScheduled(PbbfParams::new(0.5, qs[qi]).expect("valid"));
+            let sim = NetSim::new(cfg, mode);
+            rs.map(|r| {
+                let deployment =
+                    DeploymentCache::global().get_or_draw(&cfg, mix(deploy_seed, r as u64));
+                sim.run_on(mix(seed, (qi as u64) << 32 | r as u64), &deployment)
+            })
+            .collect()
+        },
+    );
     for (&q, point_stats) in qs.iter().zip(&all_stats) {
         let mut hist = Histogram::new(0.0, 120.0, 240);
         for s in point_stats {
@@ -210,23 +220,32 @@ pub fn ext_k_tradeoff(effort: &Effort, seed: u64) -> Figure {
     let ks = [1usize, 2, 4, 8];
     let mut ratio = Series::new("delivery ratio");
     let mut payload = Series::new("update payloads per packet");
-    // Point-level fan-out: every (k, run) job schedules together; per-k
-    // sums fold in run order (thread-count invariant). `k` does not
-    // enter the deployment geometry, so run r's scenario resolves to the
-    // same registry entry across the whole k sweep — and across the
-    // other Table-2-geometry sweeps of the process.
-    let cache = DeploymentCache::global();
+    // (k, replica-chunk) fan-out: chunk boundaries are deterministic and
+    // per-k sums fold in run order (thread-count invariant). `k` does
+    // not enter the deployment geometry, so run r's scenario resolves —
+    // through the process-wide registry, inside the chunk job — to the
+    // same entry across the whole k sweep and across the other
+    // Table-2-geometry sweeps of the process.
     let deploy_seed = mix(seed, crate::net_figs::DEPLOY_SALT);
-    let ratios = pbbf_parallel::par_run_grouped(ks.len(), effort.runs as usize, |ki, r| {
-        let mut cfg = NetConfig::table2();
-        cfg.duration_secs = effort.net_duration_secs;
-        cfg.k = ks[ki];
-        let mode = NetMode::SleepScheduled(PbbfParams::new(0.5, 0.25).expect("valid"));
-        let deployment = cache.get_or_draw(&cfg, mix(deploy_seed, r as u64));
-        NetSim::new(cfg, mode)
-            .run_on(mix(seed, (ki as u64) << 32 | r as u64), &deployment)
-            .mean_delivery_ratio()
-    });
+    let ratios = pbbf_parallel::par_run_grouped_chunked(
+        ks.len(),
+        effort.runs as usize,
+        crate::net_figs::REPLICA_CHUNK,
+        |ki, rs| {
+            let mut cfg = NetConfig::table2();
+            cfg.duration_secs = effort.net_duration_secs;
+            cfg.k = ks[ki];
+            let mode = NetMode::SleepScheduled(PbbfParams::new(0.5, 0.25).expect("valid"));
+            let sim = NetSim::new(cfg, mode);
+            rs.map(|r| {
+                let deployment =
+                    DeploymentCache::global().get_or_draw(&cfg, mix(deploy_seed, r as u64));
+                sim.run_on(mix(seed, (ki as u64) << 32 | r as u64), &deployment)
+                    .mean_delivery_ratio()
+            })
+            .collect()
+        },
+    );
     for (&k, point_ratios) in ks.iter().zip(&ratios) {
         let acc: f64 = point_ratios.iter().sum();
         ratio.push(k as f64, acc / f64::from(effort.runs));

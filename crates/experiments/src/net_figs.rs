@@ -44,34 +44,57 @@ struct NetPoint {
     deploy_seed: u64,
 }
 
-/// Runs a whole sweep's Monte Carlo batch as one flat `(point, run)` job
-/// list fanned across threads (`par_run_grouped`), returning one
+/// The scheduling granularity of a sweep's Monte Carlo fan-out: runs per
+/// `(point, replica-chunk)` job. Sized to the lockstep replica-batch
+/// width used on shared-scenario workloads — one chunk amortizes its
+/// point lookup, simulator construction, and registry resolutions, while
+/// the paper-scale sweeps (points × runs/chunk jobs) still oversubscribe
+/// every thread budget the CI matrix uses.
+pub(crate) const REPLICA_CHUNK: usize = 8;
+
+/// Runs a whole sweep's Monte Carlo batch as one flat
+/// `(point, replica-chunk)` job list fanned across threads
+/// ([`pbbf_parallel::par_run_grouped_chunked`]), returning one
 /// confidence interval per point (in point order).
 ///
-/// Each job's RNG stream depends only on `(point seed, run index)` and
-/// per-point summaries fold in run order, so results are bitwise
+/// Each run's RNG stream depends only on `(point seed, run index)`,
+/// chunk boundaries are a pure function of `(runs, REPLICA_CHUNK)`, and
+/// per-point summaries fold in run order — so results are bitwise
 /// identical to the sequential per-point loop for any thread count.
-/// Deployments come from the process-wide registry
-/// ([`DeploymentCache::global`]): every point with the same geometry
-/// reuses run `r`'s connected deployment instead of redrawing it per
-/// protocol mode, and sweeps in *other* figures with the same geometry
-/// and deployment-seed stream (fig13–16 vs the latency-tail and
-/// k-trade-off extensions) resolve to the same entries. Each `(mode,
-/// run)` job shares the cached topology by `Arc` straight into its
-/// channel — no per-run copy. The cached draw is a pure function of
-/// `(deployment seed, geometry)`, so all of this sharing preserves
-/// thread-count invariance and leaves every figure's values untouched.
+/// Deployments resolve through the process-wide registry
+/// ([`DeploymentCache::global`]) — the single resolution path, inside
+/// the chunk job: every point with the same geometry reuses run `r`'s
+/// connected deployment instead of redrawing it per protocol mode, and
+/// sweeps in *other* figures with the same geometry and deployment-seed
+/// stream (fig13–16 vs the latency-tail and k-trade-off extensions)
+/// resolve to the same entries. Each run shares the cached topology by
+/// `Arc` straight into its channel — no per-run copy. The cached draw is
+/// a pure function of `(deployment seed, geometry)`, so all of this
+/// sharing preserves thread-count invariance and leaves every figure's
+/// values untouched. (Each run of a point draws a *different*
+/// deployment, so the chunk cannot route through
+/// [`NetSim::run_replicas`] — lockstep batching requires one shared
+/// scenario; here the chunk amortizes setup instead.)
 fn run_points(
     effort: &Effort,
     points: &[NetPoint],
     metric: &(impl Fn(&NetRunStats) -> Option<f64> + Sync),
 ) -> Vec<Option<ConfidenceInterval>> {
-    let cache = DeploymentCache::global();
-    let vals = pbbf_parallel::par_run_grouped(points.len(), effort.runs as usize, |pi, r| {
-        let pt = &points[pi];
-        let deployment = cache.get_or_draw(&pt.cfg, mix(pt.deploy_seed, r as u64));
-        metric(&NetSim::new(pt.cfg, pt.mode).run_on(mix(pt.seed, r as u64), &deployment))
-    });
+    let vals = pbbf_parallel::par_run_grouped_chunked(
+        points.len(),
+        effort.runs as usize,
+        REPLICA_CHUNK,
+        |pi, rs| {
+            let pt = &points[pi];
+            let sim = NetSim::new(pt.cfg, pt.mode);
+            rs.map(|r| {
+                let deployment =
+                    DeploymentCache::global().get_or_draw(&pt.cfg, mix(pt.deploy_seed, r as u64));
+                metric(&sim.run_on(mix(pt.seed, r as u64), &deployment))
+            })
+            .collect()
+        },
+    );
     vals.into_iter()
         .map(|point_vals| {
             let summary: Summary = point_vals.into_iter().flatten().collect();

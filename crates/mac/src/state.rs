@@ -241,6 +241,15 @@ impl MacState {
         // Every skipped frame start clears the flag before its window
         // end, so no decision in the batch can see a stale ATIM.
         self.atim_received = false;
+        if self.engine.params().q() >= 1.0 {
+            // The q = 1 coin stays awake deterministically and draw-free:
+            // the run loop below would spin `k` zero-length sleep runs,
+            // so collapse the whole batch in closed form instead.
+            return SkipSummary {
+                stays: k,
+                last_sleep: None,
+            };
+        }
         let mut stays = 0u32;
         let mut last_sleep = None;
         let mut t = 0u32;
@@ -512,6 +521,36 @@ mod tests {
                 last_sleep: None
             }
         );
+    }
+
+    #[test]
+    fn skip_boundaries_q_one_is_closed_form_and_draw_free() {
+        // The q = 1 batch collapses without touching the run loop: a
+        // k in the millions must return instantly (the old loop spun k
+        // zero-length sleep runs) and must not advance the RNG, so the
+        // node's later p-draws are identical to a node that never
+        // batched at all.
+        let params = PbbfParams::new(0.3, 1.0).unwrap();
+        let mut batched = MacState::new(params, SimRng::new(9));
+        let mut untouched = MacState::new(params, SimRng::new(9));
+        let k = 10_000_000;
+        assert_eq!(
+            batched.skip_boundaries(k),
+            SkipSummary {
+                stays: k,
+                last_sleep: None
+            }
+        );
+        for id in 0..32 {
+            assert_eq!(batched.receive_data(&[id]), untouched.receive_data(&[id]));
+            assert_eq!(
+                batched.has_pending_immediate(),
+                untouched.has_pending_immediate(),
+                "q = 1 batch perturbed the p-coin stream"
+            );
+            batched.mark_immediate_sent();
+            untouched.mark_immediate_sent();
+        }
     }
 
     #[test]

@@ -39,6 +39,7 @@
 mod active;
 mod config;
 mod deploy;
+mod replica;
 mod runner;
 mod stats;
 

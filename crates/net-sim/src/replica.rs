@@ -1,0 +1,873 @@
+//! Lockstep replica batching: one merged event loop advances `R`
+//! independent Monte Carlo replicas of a single scenario.
+//!
+//! # Why batch replicas
+//!
+//! Every figure point is a mean over `R` runs. With the deployment
+//! registry those runs already share one `Arc<Topology>`; serial
+//! execution still re-walks everything else `R` times — `R` separate
+//! event queues, `R` BFS hop-distance passes, `R` independent boundary
+//! sweeps over the *same* beacon instants, with each run's working set
+//! streamed through cache on its own. [`NetSim::run_replicas`] executes
+//! a batch of seeds over one shared scenario in **lockstep** instead:
+//!
+//! * **Per-replica lanes.** All per-node runtime state (`MacState`,
+//!   `EnergyMeter`, RNG substreams, wake flags, settle cursors) lives in
+//!   one interleaved array indexed `[node][lane]`, and the collision
+//!   channel is a [`LanedChannel`] whose 16-byte per-node air records
+//!   are laned the same way — shared-event sweeps visit one node's
+//!   lanes back to back, so the interleaving keeps them on adjacent
+//!   cache lines.
+//! * **Shared deterministic events.** Frame starts, ATIM-window ends,
+//!   and source update generation happen at config-determined instants
+//!   identical across replicas, so the batch schedules each *once* (on
+//!   a small shared heap) and the handler sweeps all lanes — the
+//!   boundary timestamp tables (`frame_secs`/`window_secs`) are
+//!   computed once per frame for the whole batch, and the hop-distance
+//!   BFS runs once per batch instead of once per replica. Over a long
+//!   horizon this deletes ~`(R-1)/R` of the boundary-walk work.
+//! * **Per-lane event heaps, phased drain.** Backoff-timed events
+//!   (ATIM/data attempts, transmission ends) depend on per-replica
+//!   randomness and run exactly the serial handler against their own
+//!   lane — each lane owns a private heap of them. Lanes share no
+//!   mutable state, so their relative order is unobservable: between
+//!   two shared events the drain runs each lane's burst to completion
+//!   before the next lane's, keeping one replica's working set hot in
+//!   cache instead of interleaving all `R` replicas event by event (an
+//!   earlier single-merged-heap drain lost ~25% to exactly that), and
+//!   keeping every heap no deeper than the serial queue's.
+//! * **Per-replica active sets.** The PR-3 active-set machinery gains a
+//!   lane mask ([`ReplicaSet`]): boundary handlers sweep the node-level
+//!   union once in ascending node order and visit each member's lanes
+//!   by mask bit.
+//!
+//! # Bit-identity
+//!
+//! `run_replicas(seeds, d)[l]` is **bitwise equal** to
+//! `run_on(seeds[l], d)` — a strict contract with no golden refresh,
+//! pinned by `tests/replica_equivalence.rs` and the repo-level figure
+//! fingerprints. It holds by construction:
+//!
+//! * Replica state is fully disjoint (own MAC/meter/RNG lanes, own
+//!   channel lane); only the read-only topology and the deterministic
+//!   event *times* are shared.
+//! * The serial queue breaks timestamp ties by insertion order (FIFO).
+//!   Here one insertion counter spans the shared heap and every lane
+//!   heap, and the drain orders {lane `l`} ∪ {shared} by `(time, seq)`
+//!   — exactly the serial order restricted to lane `l`'s events.
+//!   Within every shared handler, each lane's insertions happen in the
+//!   same relative order as in that lane's serial run (union members in
+//!   ascending node order — the serial sweep order — with the batch's
+//!   next shared event scheduled *after* all per-lane insertions,
+//!   matching the serial handler's tail). By induction, each lane pops
+//!   its events in exactly the serial order, so every RNG draw, meter
+//!   transition, and stat lands identically.
+//! * The serial drain stops at the first event past `duration`, i.e. it
+//!   processes precisely the events with `time <= duration`, in order;
+//!   the phased drain processes the same set.
+//!
+//! Adaptive mode keeps per-node controllers whose dense per-beacon
+//! walks dominate; [`NetSim::run_replicas`] falls back to the serial
+//! loop there rather than laning a path batching cannot help.
+
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use pbbf_core::ForwardDecision;
+use pbbf_des::{SimDuration, SimRng, SimTime};
+use pbbf_mac::{BackoffPolicy, DataIntent, MacState, PsmTiming};
+use pbbf_radio::{Delivery, EnergyMeter, Frame, FrameKind, LanedChannel, RadioState};
+use pbbf_topology::NodeId;
+
+use crate::active::ReplicaSet;
+use crate::{BoundaryEngine, CachedDeployment, NetConfig, NetMode, NetRunStats, NetSim};
+
+/// The widest lockstep batch: one `u64` lane mask per node.
+/// [`NetSim::run_replicas`] chunks longer seed lists transparently.
+pub(crate) const MAX_LANES: usize = 64;
+
+impl NetSim {
+    /// Executes one run per seed over a single shared scenario, in
+    /// lockstep batches of up to 64 replicas.
+    ///
+    /// Each element of the result is **bitwise equal** to the serial
+    /// path: `run_replicas(seeds, d)[l] == run_on(seeds[l], d)` for
+    /// every lane `l`, every mode, and both boundary engines — batching
+    /// changes wall-clock, never results. See the module docs for how
+    /// the merged event loop preserves per-replica event order and RNG
+    /// streams.
+    ///
+    /// [`NetMode::Adaptive`] runs the serial loop per seed (its dense
+    /// per-beacon controller walk leaves nothing for the merged loop to
+    /// share).
+    #[must_use]
+    pub fn run_replicas(&self, seeds: &[u64], deployment: &CachedDeployment) -> Vec<NetRunStats> {
+        if matches!(self.mode(), NetMode::Adaptive(_)) {
+            return seeds.iter().map(|&s| self.run_on(s, deployment)).collect();
+        }
+        let mut out = Vec::with_capacity(seeds.len());
+        for chunk in seeds.chunks(MAX_LANES) {
+            let mut runner = ReplicaRunner::new(self.config(), self.mode(), chunk, deployment);
+            runner.prime();
+            runner.drain();
+            out.append(&mut runner.finish_stats());
+        }
+        out
+    }
+}
+
+/// Shared batch-wide events: config-determined times identical across
+/// lanes, so the batch schedules each exactly once and the handler
+/// sweeps every lane.
+#[derive(Debug)]
+enum SEv {
+    FrameStart,
+    WindowEnd,
+    GenUpdate,
+}
+
+/// Per-lane events: backoff-timed, so their instants depend on the
+/// lane's own randomness. The lane is implicit — each lane owns a
+/// private heap of these — and the payload carries only the node.
+#[derive(Debug)]
+enum LEv {
+    Atim(u32),
+    Data(u32, DataIntent),
+    TxEnd(u32),
+}
+
+/// A heap entry ordered by `(time, seq)` — the serial `EventQueue`'s
+/// FIFO tie-break. One `seq` counter spans the shared heap and every
+/// lane heap, so restricting the global `(time, seq)` order to
+/// {lane `l`} ∪ {shared} replays exactly the order a single merged
+/// queue would hand lane `l`.
+#[derive(Debug)]
+struct Keyed<E> {
+    at: SimTime,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Keyed<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<E> Eq for Keyed<E> {}
+impl<E> PartialOrd for Keyed<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Keyed<E> {
+    /// Reversed, so `BinaryHeap` (a max-heap) pops the earliest entry.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// One `(node, lane)` runtime cell — the laned mirror of the serial
+/// runner's `NodeRt`, minus the adaptive controller (adaptive mode never
+/// reaches the batched path). Cells are interleaved `[node][lane]`.
+#[derive(Debug)]
+struct LaneRt {
+    mac: MacState,
+    meter: EnergyMeter,
+    awake: bool,
+    awake_since: SimTime,
+    rng: SimRng,
+    atim_scheduled: bool,
+    normal_scheduled: bool,
+    immediate_scheduled: bool,
+    /// Lazy-replay cursor, same numbering as the serial runner: frame
+    /// `f`'s start is boundary `2f`, its window end `2f + 1`.
+    applied: u32,
+}
+
+/// The merged-loop runner. Every handler body is the serial runner's,
+/// applied per lane; keep the two in sync (the equivalence tests pin
+/// them together bit-for-bit).
+struct ReplicaRunner {
+    psm: bool,
+    /// `psm && !adaptive` — always `psm` here (adaptive falls back
+    /// before construction).
+    lazy: bool,
+    dense_boundaries: bool,
+    aw_secs: f64,
+    data_secs: f64,
+    k: usize,
+    timing: PsmTiming,
+    backoff: BackoffPolicy,
+    data_air: SimDuration,
+    atim_air: SimDuration,
+    update_period: SimDuration,
+    duration: SimTime,
+    channel: LanedChannel,
+    lanes: usize,
+    /// `(node, lane)` cells at `node * lanes + lane`.
+    nodes: Vec<LaneRt>,
+    /// One insertion counter across `shared` and every lane heap: FIFO
+    /// tie-breaking must match the serial queue's per lane.
+    seq: u64,
+    /// Batch-wide events — at most a handful live at once.
+    shared: BinaryHeap<Keyed<SEv>>,
+    /// Per-lane event heaps; each is at most as deep as the serial
+    /// queue's (boundary events live in `shared` instead).
+    lane_q: Vec<BinaryHeap<Keyed<LEv>>>,
+    source: NodeId,
+    /// Boundary events fired so far — shared: boundaries are batch-wide
+    /// events. Per-lane `applied` cursors settle against it.
+    fired: u32,
+    frame_set: ReplicaSet,
+    window_set: ReplicaSet,
+    sweep: Vec<u32>,
+    /// Boundary instants in seconds, computed once per frame for the
+    /// whole batch (the serial runner pays this per replica).
+    frame_secs: Vec<f64>,
+    window_secs: Vec<f64>,
+    /// Update generation times — identical across lanes by construction;
+    /// cloned into each lane's stats at the end.
+    gen_times: Vec<SimTime>,
+    /// First-reception times per lane: `receptions[lane][update][node]`.
+    receptions: Vec<Vec<Vec<Option<SimTime>>>>,
+    deliveries: Vec<Delivery>,
+    data_tx: Vec<u64>,
+    atim_tx: Vec<u64>,
+    immediate_tx: Vec<u64>,
+    collisions: Vec<u64>,
+}
+
+impl ReplicaRunner {
+    fn new(cfg: &NetConfig, mode: NetMode, seeds: &[u64], deployment: &CachedDeployment) -> Self {
+        assert!(
+            !seeds.is_empty() && seeds.len() <= MAX_LANES,
+            "a lockstep batch holds 1..={MAX_LANES} replicas"
+        );
+        let params = match mode {
+            NetMode::AlwaysOn => pbbf_core::PbbfParams::ALWAYS_ON,
+            NetMode::SleepScheduled(p) => p,
+            NetMode::Adaptive(_) => unreachable!("adaptive mode uses the serial fallback"),
+        };
+        let lanes = seeds.len();
+        let roots: Vec<SimRng> = seeds.iter().map(|&s| SimRng::new(s)).collect();
+        // Interleaved [node][lane]: node i's cells for every replica sit
+        // contiguously, matching the laned channel's air layout.
+        let mut nodes = Vec::with_capacity(cfg.nodes * lanes);
+        for i in 0..cfg.nodes {
+            for root in &roots {
+                nodes.push(LaneRt {
+                    mac: MacState::new(params, root.substream(1000 + i as u64)),
+                    meter: EnergyMeter::new(cfg.power),
+                    awake: true,
+                    awake_since: SimTime::ZERO,
+                    rng: root.substream(2000 + i as u64),
+                    atim_scheduled: false,
+                    normal_scheduled: false,
+                    immediate_scheduled: false,
+                    applied: 0,
+                });
+            }
+        }
+        let phy = cfg.phy;
+        let expected_updates = cfg.expected_updates() as usize;
+        let expected_degree = cfg.delta.ceil() as usize + 1;
+        let psm = !matches!(mode, NetMode::AlwaysOn);
+        let timing = PsmTiming::new(
+            SimDuration::from_secs(cfg.beacon_interval_secs),
+            SimDuration::from_secs(cfg.atim_window_secs),
+        );
+        Self {
+            psm,
+            lazy: psm,
+            dense_boundaries: cfg.boundary_engine.effective() == BoundaryEngine::Dense,
+            aw_secs: timing.atim_window().as_secs(),
+            data_secs: (timing.beacon_interval() - timing.atim_window()).as_secs(),
+            k: cfg.k,
+            timing,
+            backoff: BackoffPolicy::mica2(),
+            data_air: phy.airtime(phy.data_bytes),
+            atim_air: phy.airtime(phy.atim_bytes),
+            update_period: SimDuration::from_secs(1.0 / cfg.lambda),
+            duration: SimTime::from_secs(cfg.duration_secs),
+            channel: LanedChannel::new(Arc::clone(&deployment.topology), lanes),
+            lanes,
+            nodes,
+            seq: 0,
+            shared: BinaryHeap::new(),
+            lane_q: (0..lanes).map(|_| BinaryHeap::new()).collect(),
+            source: deployment.source,
+            fired: 0,
+            frame_set: ReplicaSet::new(cfg.nodes),
+            window_set: ReplicaSet::new(cfg.nodes),
+            sweep: Vec::new(),
+            frame_secs: Vec::new(),
+            window_secs: Vec::new(),
+            gen_times: Vec::with_capacity(expected_updates),
+            receptions: (0..lanes)
+                .map(|_| Vec::with_capacity(expected_updates))
+                .collect(),
+            deliveries: Vec::with_capacity(expected_degree),
+            data_tx: vec![0; lanes],
+            atim_tx: vec![0; lanes],
+            immediate_tx: vec![0; lanes],
+            collisions: vec![0; lanes],
+        }
+    }
+
+    #[inline]
+    fn li(&self, node: usize, lane: usize) -> usize {
+        node * self.lanes + lane
+    }
+
+    #[inline]
+    fn sched_shared(&mut self, at: SimTime, ev: SEv) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.shared.push(Keyed { at, seq, ev });
+    }
+
+    #[inline]
+    fn sched_lane(&mut self, lane: usize, at: SimTime, ev: LEv) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.lane_q[lane].push(Keyed { at, seq, ev });
+    }
+
+    fn prime(&mut self) {
+        if self.psm {
+            self.sched_shared(SimTime::ZERO, SEv::FrameStart);
+        }
+        let first_update = SimTime::ZERO + self.timing.atim_window() / 2;
+        if first_update <= self.duration {
+            self.sched_shared(first_update, SEv::GenUpdate);
+        }
+    }
+
+    /// The phased drain. A merged queue would pop the batch's events in
+    /// global `(time, seq)` order — but lanes share no mutable state, so
+    /// only each lane's order *relative to the shared events* is
+    /// observable. The drain exploits that freedom: between consecutive
+    /// shared events it runs each lane's burst to completion before the
+    /// next lane's, which keeps one replica's working set (its lane
+    /// cells, its channel lane, its heap) hot in cache instead of
+    /// interleaving all `R` replicas event by event.
+    fn drain(&mut self) {
+        loop {
+            let bound = self.shared.peek().map(|k| (k.at, k.seq));
+            for lane in 0..self.lanes {
+                self.drain_lane(lane, bound);
+            }
+            let Some(head) = self.shared.peek() else {
+                break;
+            };
+            if head.at > self.duration {
+                break;
+            }
+            let Keyed { at, ev, .. } = self.shared.pop().expect("peeked entry vanished");
+            match ev {
+                SEv::FrameStart => self.on_frame_start(at),
+                SEv::WindowEnd => self.on_window_end(at),
+                SEv::GenUpdate => self.on_gen_update(at),
+            }
+        }
+    }
+
+    /// Runs lane `lane` up to (but not through) the shared-queue head.
+    /// The `(time, seq)` comparison against `bound` reproduces the
+    /// merged queue's FIFO tie-break exactly: a lane event scheduled
+    /// *before* a shared event landing on the same instant still runs
+    /// first, one scheduled after still runs second.
+    fn drain_lane(&mut self, lane: usize, bound: Option<(SimTime, u64)>) {
+        while let Some(head) = self.lane_q[lane].peek() {
+            if head.at > self.duration {
+                break;
+            }
+            if let Some(b) = bound {
+                if (head.at, head.seq) >= b {
+                    break;
+                }
+            }
+            let Keyed { at, ev, .. } = self.lane_q[lane].pop().expect("peeked entry vanished");
+            match ev {
+                LEv::Atim(i) => self.on_atim_attempt(at, i as usize, lane),
+                LEv::Data(i, intent) => self.on_data_attempt(at, i as usize, lane, intent),
+                LEv::TxEnd(i) => self.on_tx_end(at, i as usize, lane),
+            }
+        }
+    }
+
+    #[inline]
+    fn refresh_sets(&mut self, i: usize, lane: usize) {
+        if !self.lazy {
+            return;
+        }
+        let work = self.nodes[self.li(i, lane)].mac.pending_work();
+        self.frame_set.set(i, lane, work.frame_start);
+        self.window_set.set(i, lane, work.window_end);
+    }
+
+    fn apply_frame_start(&mut self, i: usize, lane: usize, frame: u32) -> bool {
+        let li = self.li(i, lane);
+        let node = &mut self.nodes[li];
+        node.applied = 2 * frame + 1;
+        if !node.awake {
+            let t = self.timing.frame_time(u64::from(frame));
+            node.meter.set_state(t, RadioState::Idle);
+            node.awake = true;
+            node.awake_since = t;
+        }
+        node.mac.begin_frame()
+    }
+
+    fn apply_window_end(&mut self, i: usize, lane: usize, frame: u32) {
+        let li = self.li(i, lane);
+        let stay = self.nodes[li].mac.sleep_decision();
+        self.nodes[li].applied = 2 * frame + 2;
+        if !stay && self.nodes[li].awake && !self.channel.is_transmitting(lane, NodeId(i as u32)) {
+            let t = self.timing.frame_time(u64::from(frame)) + self.timing.atim_window();
+            self.nodes[li].meter.set_state(t, RadioState::Sleep);
+            self.nodes[li].awake = false;
+        }
+    }
+
+    #[inline]
+    fn settle(&mut self, i: usize, lane: usize) {
+        if self.nodes[self.li(i, lane)].applied < self.fired {
+            self.settle_replay(i, lane);
+        }
+    }
+
+    fn settle_replay(&mut self, i: usize, lane: usize) {
+        debug_assert!(self.lazy, "only the lazy path leaves nodes unsettled");
+        debug_assert!(
+            !self.channel.is_transmitting(lane, NodeId(i as u32)),
+            "untouched node {i} cannot be mid-transmission"
+        );
+        if self.dense_boundaries {
+            self.settle_dense(i, lane, self.fired);
+        } else {
+            self.settle_geometric(i, lane);
+        }
+    }
+
+    fn settle_dense(&mut self, i: usize, lane: usize, target: u32) {
+        let beacon_nanos = self.timing.beacon_interval().as_nanos();
+        let li = self.li(i, lane);
+        let node = &mut self.nodes[li];
+        while node.applied < target {
+            let boundary = node.applied;
+            node.applied = boundary + 1;
+            let frame = boundary >> 1;
+            if boundary & 1 == 0 {
+                if !node.awake {
+                    node.meter
+                        .set_state_secs(self.frame_secs[frame as usize], RadioState::Idle);
+                    node.awake = true;
+                    node.awake_since = SimTime::from_nanos(u64::from(frame) * beacon_nanos);
+                }
+                let wants = node.mac.begin_frame();
+                debug_assert!(
+                    !wants,
+                    "node {i} with announce work must be in the frame-start active set"
+                );
+                let _ = wants;
+            } else if !node.mac.sleep_decision() && node.awake {
+                node.meter
+                    .set_state_secs(self.window_secs[frame as usize], RadioState::Sleep);
+                node.awake = false;
+            }
+        }
+    }
+
+    fn settle_geometric(&mut self, i: usize, lane: usize) {
+        let fired = self.fired;
+        let li = self.li(i, lane);
+        if self.nodes[li].applied & 1 == 1 {
+            self.settle_dense(i, lane, (self.nodes[li].applied + 1).min(fired));
+        }
+        let pairs = (fired - self.nodes[li].applied) / 2;
+        if pairs > 0 {
+            self.settle_pairs_batched(i, lane, pairs);
+        }
+        if self.nodes[li].applied < fired {
+            self.settle_dense(i, lane, fired);
+        }
+    }
+
+    fn settle_pairs_batched(&mut self, i: usize, lane: usize, pairs: u32) {
+        let li = self.li(i, lane);
+        let g0 = self.nodes[li].applied / 2;
+        let node = &mut self.nodes[li];
+        debug_assert_eq!(node.applied & 1, 0, "batch must start at a frame start");
+        node.meter
+            .set_state_secs(self.frame_secs[g0 as usize], RadioState::Idle);
+        if !node.awake {
+            node.awake = true;
+            node.awake_since = self.timing.frame_time(u64::from(g0));
+        }
+        let summary = node.mac.skip_boundaries(pairs);
+        let stays_inside = summary.stays_before_last(pairs);
+        let sleeps_inside = pairs - 1 - stays_inside;
+        node.meter
+            .accrue_batch(RadioState::Idle, u64::from(pairs), self.aw_secs);
+        node.meter
+            .accrue_batch(RadioState::Idle, u64::from(stays_inside), self.data_secs);
+        node.meter
+            .accrue_batch(RadioState::Sleep, u64::from(sleeps_inside), self.data_secs);
+        let last = g0 + pairs - 1;
+        let ends_awake = summary.ends_awake(pairs);
+        node.meter.jump_to_secs(
+            self.window_secs[last as usize],
+            if ends_awake {
+                RadioState::Idle
+            } else {
+                RadioState::Sleep
+            },
+        );
+        node.awake = ends_awake;
+        if ends_awake {
+            if let Some(j) = summary.last_sleep {
+                node.awake_since = self.timing.frame_time(u64::from(g0 + j + 1));
+            }
+        }
+        node.applied = 2 * (g0 + pairs);
+    }
+
+    /// The shared frame-start boundary: one event for the whole batch.
+    /// Per-lane insertion order matches the serial handler — each lane's
+    /// ATIM attempts enter in ascending node order, and the batch's
+    /// `WindowEnd`/next `FrameStart` are scheduled after all of them
+    /// (the serial handler's tail position for every lane).
+    fn on_frame_start(&mut self, now: SimTime) {
+        debug_assert!(self.lazy, "boundary events exist only on the PSM path");
+        let frame = self.fired / 2;
+        debug_assert_eq!(self.frame_secs.len(), frame as usize);
+        self.frame_secs.push(now.as_secs());
+        self.window_secs
+            .push((now + self.timing.atim_window()).as_secs());
+        let mut sweep = std::mem::take(&mut self.sweep);
+        self.frame_set.sweep(&mut sweep);
+        for &i in &sweep {
+            let i = i as usize;
+            let mut mask = self.frame_set.mask(i);
+            while mask != 0 {
+                let lane = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                self.settle(i, lane);
+                let wants = self.apply_frame_start(i, lane, frame);
+                debug_assert!(wants, "frame-set member {i} had nothing to announce");
+                let li = self.li(i, lane);
+                if wants && !self.nodes[li].atim_scheduled {
+                    self.nodes[li].atim_scheduled = true;
+                    let at = self.backoff.next_atim_attempt(now, &mut self.nodes[li].rng);
+                    self.sched_lane(lane, at, LEv::Atim(i as u32));
+                }
+                self.window_set.set(i, lane, true);
+            }
+        }
+        self.sweep = sweep;
+        self.fired = 2 * frame + 1;
+        self.sched_shared(now + self.timing.atim_window(), SEv::WindowEnd);
+        let next = now + self.timing.beacon_interval();
+        if next <= self.duration {
+            self.sched_shared(next, SEv::FrameStart);
+        }
+    }
+
+    fn on_window_end(&mut self, now: SimTime) {
+        debug_assert!(self.lazy, "boundary events exist only on the PSM path");
+        let frame = self.fired / 2;
+        let mut sweep = std::mem::take(&mut self.sweep);
+        self.window_set.sweep(&mut sweep);
+        for &i in &sweep {
+            let i = i as usize;
+            let mut mask = self.window_set.mask(i);
+            while mask != 0 {
+                let lane = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                self.settle(i, lane);
+                self.apply_window_end(i, lane, frame);
+                self.schedule_window_attempts(now, i, lane);
+            }
+        }
+        self.sweep = sweep;
+        self.fired = 2 * frame + 2;
+    }
+
+    #[inline]
+    fn schedule_window_attempts(&mut self, now: SimTime, i: usize, lane: usize) {
+        let li = self.li(i, lane);
+        let node = &mut self.nodes[li];
+        if node.mac.has_pending_normal() && !node.normal_scheduled {
+            node.normal_scheduled = true;
+            let at = self.backoff.next_data_attempt(now, &mut node.rng);
+            self.sched_lane(lane, at, LEv::Data(i as u32, DataIntent::Normal));
+        }
+        let node = &mut self.nodes[li];
+        if node.mac.has_pending_immediate() && !node.immediate_scheduled {
+            node.immediate_scheduled = true;
+            let at = self.backoff.next_data_attempt(now, &mut node.rng);
+            self.sched_lane(lane, at, LEv::Data(i as u32, DataIntent::Immediate));
+        }
+    }
+
+    /// The shared generation event: update times are config-determined
+    /// and identical across lanes, so one event sweeps every lane's
+    /// source MAC (each with its own forwarding coin).
+    fn on_gen_update(&mut self, now: SimTime) {
+        let i = self.source.index();
+        let id = self.gen_times.len() as u64;
+        self.gen_times.push(now);
+        for lane in 0..self.lanes {
+            self.settle(i, lane);
+            let n = self.lanes;
+            let mut row = vec![None; self.nodes.len() / n];
+            row[i] = Some(now);
+            self.receptions[lane].push(row);
+            let li = self.li(i, lane);
+            let decision = self.nodes[li].mac.source_update(id);
+            if self.psm {
+                match decision {
+                    ForwardDecision::EnqueueForNextActiveWindow => {
+                        if self.timing.in_atim_window(now) {
+                            self.nodes[li].mac.announce_now();
+                            if !self.nodes[li].atim_scheduled {
+                                self.nodes[li].atim_scheduled = true;
+                                let at =
+                                    self.backoff.next_atim_attempt(now, &mut self.nodes[li].rng);
+                                self.sched_lane(lane, at, LEv::Atim(i as u32));
+                            }
+                        }
+                    }
+                    ForwardDecision::SendImmediately => {
+                        self.schedule_immediate_attempt(now, i, lane);
+                    }
+                }
+            } else {
+                self.schedule_immediate_attempt(now, i, lane);
+            }
+            self.refresh_sets(i, lane);
+        }
+        let next = now + self.update_period;
+        if next <= self.duration {
+            self.sched_shared(next, SEv::GenUpdate);
+        }
+    }
+
+    fn schedule_immediate_attempt(&mut self, now: SimTime, i: usize, lane: usize) {
+        let li = self.li(i, lane);
+        if self.nodes[li].immediate_scheduled || !self.nodes[li].mac.has_pending_immediate() {
+            return;
+        }
+        self.nodes[li].immediate_scheduled = true;
+        let from = if self.psm {
+            self.timing.earliest_data_time(now)
+        } else {
+            now
+        };
+        let at = self
+            .backoff
+            .next_data_attempt(from, &mut self.nodes[li].rng);
+        self.sched_lane(lane, at, LEv::Data(i as u32, DataIntent::Immediate));
+    }
+
+    fn on_atim_attempt(&mut self, now: SimTime, i: usize, lane: usize) {
+        let id = NodeId(i as u32);
+        let li = self.li(i, lane);
+        if !self.nodes[li].mac.has_pending_normal() {
+            self.nodes[li].atim_scheduled = false;
+            return;
+        }
+        let window_end = self.timing.window_end(now);
+        if !self.timing.in_atim_window(now) || now + self.atim_air > window_end {
+            self.nodes[li].atim_scheduled = false;
+            return;
+        }
+        if self.channel.is_transmitting(lane, id) || self.channel.carrier_busy(lane, id) {
+            let at = self.backoff.next_atim_attempt(now, &mut self.nodes[li].rng);
+            if at + self.atim_air <= window_end {
+                self.sched_lane(lane, at, LEv::Atim(i as u32));
+            } else {
+                self.nodes[li].atim_scheduled = false;
+            }
+            return;
+        }
+        self.nodes[li].atim_scheduled = false;
+        debug_assert!(
+            !self.lazy || self.nodes[li].applied >= self.fired,
+            "ATIM transmit on unsettled node {id}"
+        );
+        let contents = self.nodes[li].mac.packet_contents(self.k);
+        let end = self
+            .channel
+            .begin_tx(lane, now, Frame::atim(id, contents), self.atim_air);
+        self.nodes[li].meter.set_state(now, RadioState::Transmit);
+        self.sched_lane(lane, end, LEv::TxEnd(i as u32));
+    }
+
+    fn on_data_attempt(&mut self, now: SimTime, i: usize, lane: usize, intent: DataIntent) {
+        let id = NodeId(i as u32);
+        let li = self.li(i, lane);
+        let pending = match intent {
+            DataIntent::Normal => self.nodes[li].mac.has_pending_normal(),
+            DataIntent::Immediate => self.nodes[li].mac.has_pending_immediate(),
+        };
+        if !pending {
+            self.clear_guard(li, intent);
+            return;
+        }
+        debug_assert!(self.nodes[li].awake, "pending data must keep {id} awake");
+        if self.psm {
+            let blocked_by_window = self.timing.in_atim_window(now);
+            let overruns = now + self.data_air > self.timing.next_frame_start(now);
+            if blocked_by_window || overruns {
+                let from = if blocked_by_window {
+                    self.timing.earliest_data_time(now)
+                } else {
+                    self.timing
+                        .earliest_data_time(self.timing.next_frame_start(now))
+                };
+                let at = self
+                    .backoff
+                    .next_data_attempt(from, &mut self.nodes[li].rng);
+                self.sched_lane(lane, at, LEv::Data(i as u32, intent));
+                return;
+            }
+        }
+        if self.channel.is_transmitting(lane, id) || self.channel.carrier_busy(lane, id) {
+            let at = self.backoff.next_data_attempt(now, &mut self.nodes[li].rng);
+            self.sched_lane(lane, at, LEv::Data(i as u32, intent));
+            return;
+        }
+        self.clear_guard(li, intent);
+        debug_assert!(
+            !self.lazy || self.nodes[li].applied >= self.fired,
+            "transmit on unsettled node {id}"
+        );
+        let contents = self.nodes[li].mac.packet_contents(self.k);
+        let frame = Frame::data(id, contents, intent == DataIntent::Immediate);
+        let end = self.channel.begin_tx(lane, now, frame, self.data_air);
+        self.nodes[li].meter.set_state(now, RadioState::Transmit);
+        self.sched_lane(lane, end, LEv::TxEnd(i as u32));
+    }
+
+    fn clear_guard(&mut self, li: usize, intent: DataIntent) {
+        match intent {
+            DataIntent::Normal => self.nodes[li].normal_scheduled = false,
+            DataIntent::Immediate => self.nodes[li].immediate_scheduled = false,
+        }
+    }
+
+    fn on_tx_end(&mut self, now: SimTime, i: usize, lane: usize) {
+        let mut deliveries = std::mem::take(&mut self.deliveries);
+        let frame = self
+            .channel
+            .end_tx_into(lane, now, NodeId(i as u32), &mut deliveries);
+        let li = self.li(i, lane);
+        self.nodes[li].meter.set_state(now, RadioState::Idle);
+        match frame.kind {
+            FrameKind::Beacon => {}
+            FrameKind::Atim { .. } => {
+                self.atim_tx[lane] += 1;
+                for d in &deliveries {
+                    let r = d.receiver.index();
+                    self.settle(r, lane);
+                    let rl = self.li(r, lane);
+                    if !self.nodes[rl].awake || self.nodes[rl].awake_since > d.started {
+                        continue;
+                    }
+                    if !d.clean {
+                        self.collisions[lane] += 1;
+                        continue;
+                    }
+                    self.nodes[rl].mac.receive_atim();
+                }
+            }
+            FrameKind::Data { updates, immediate } => {
+                self.data_tx[lane] += 1;
+                if immediate {
+                    self.immediate_tx[lane] += 1;
+                    self.nodes[li].mac.mark_immediate_sent();
+                } else {
+                    self.nodes[li].mac.mark_normal_sent();
+                }
+                self.refresh_sets(i, lane);
+                for d in &deliveries {
+                    let r = d.receiver.index();
+                    self.settle(r, lane);
+                    let rl = self.li(r, lane);
+                    if !self.nodes[rl].awake || self.nodes[rl].awake_since > d.started {
+                        continue;
+                    }
+                    if !d.clean {
+                        self.collisions[lane] += 1;
+                        continue;
+                    }
+                    let fresh = self.nodes[rl].mac.receive_data(&updates);
+                    let had_fresh = !fresh.is_empty();
+                    for id in fresh {
+                        let row = &mut self.receptions[lane][id as usize];
+                        if row[r].is_none() {
+                            row[r] = Some(now);
+                        }
+                    }
+                    if self.nodes[rl].mac.has_pending_immediate() {
+                        self.schedule_immediate_attempt(now, r, lane);
+                    }
+                    if had_fresh {
+                        self.refresh_sets(r, lane);
+                    }
+                }
+            }
+        }
+        self.deliveries = deliveries;
+    }
+
+    fn finish_stats(&mut self) -> Vec<NetRunStats> {
+        let n = self.nodes.len() / self.lanes;
+        if self.lazy {
+            for i in 0..n {
+                for lane in 0..self.lanes {
+                    self.settle(i, lane);
+                }
+            }
+        }
+        let topo = self.channel.topology();
+        // Scenario-determined, seed-independent: one BFS for the whole
+        // batch (the serial path pays it per replica).
+        let hop_distance = topo.hop_distances(self.source);
+        let mean_degree = topo.mean_degree();
+        (0..self.lanes)
+            .map(|lane| {
+                let energy_joules = (0..n)
+                    .map(|i| {
+                        self.nodes[i * self.lanes + lane]
+                            .meter
+                            .joules_at(self.duration)
+                    })
+                    .collect();
+                let state_secs = (0..n)
+                    .map(|i| {
+                        self.nodes[i * self.lanes + lane]
+                            .meter
+                            .durations_at(self.duration)
+                    })
+                    .collect();
+                NetRunStats {
+                    source: self.source,
+                    hop_distance: hop_distance.clone(),
+                    gen_times: self.gen_times.clone(),
+                    receptions: std::mem::take(&mut self.receptions[lane]),
+                    energy_joules,
+                    state_secs,
+                    data_tx: self.data_tx[lane],
+                    atim_tx: self.atim_tx[lane],
+                    immediate_tx: self.immediate_tx[lane],
+                    collisions: self.collisions[lane],
+                    mean_degree,
+                    adaptive_trace: Vec::new(),
+                }
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,162 @@
+//! The lockstep-batching contract: `run_replicas(seeds, d)[l]` is
+//! **bitwise equal** to `run_on(seeds[l], d)` for every lane, every
+//! mode, and both boundary engines. `NetRunStats::PartialEq` compares
+//! every field exactly (f64 vectors bitwise), so each assertion pins the
+//! complete run — receptions, per-node energy, state residencies,
+//! counters. There is no golden refresh: a divergence is a bug in the
+//! merged event loop, never a new baseline.
+//!
+//! CI runs this suite at `PBBF_THREADS=1/2/8` — batching must be immune
+//! to the thread count (it is single-threaded per batch by
+//! construction; the matrix guards against accidental coupling to the
+//! process-wide deployment registry).
+
+use pbbf_core::adaptive::AdaptiveConfig;
+use pbbf_core::PbbfParams;
+use pbbf_net_sim::{BoundaryEngine, NetConfig, NetMode, NetSim};
+
+fn cfg(duration: f64) -> NetConfig {
+    let mut c = NetConfig::table2();
+    c.duration_secs = duration;
+    c
+}
+
+fn pbbf(p: f64, q: f64) -> NetMode {
+    NetMode::SleepScheduled(PbbfParams::new(p, q).unwrap())
+}
+
+fn assert_batch_matches_serial(sim: &NetSim, seeds: &[u64], deploy_seed: u64, label: &str) {
+    let deployment = NetSim::draw_deployment(sim.config(), deploy_seed);
+    let batched = sim.run_replicas(seeds, &deployment);
+    assert_eq!(batched.len(), seeds.len(), "{label}: one result per seed");
+    for (lane, (&seed, got)) in seeds.iter().zip(&batched).enumerate() {
+        let want = sim.run_on(seed, &deployment);
+        assert_eq!(*got, want, "{label}: lane {lane} (seed {seed}) diverged");
+    }
+}
+
+#[test]
+fn modes_and_endpoints_match_serial_bitwise() {
+    // Every protocol regime the batched path implements, including the
+    // draw-free q endpoints and pure PSM. Seeds deliberately non-contiguous.
+    let seeds = [3u64, 41, 1000];
+    let modes = [
+        NetMode::AlwaysOn,
+        NetMode::SleepScheduled(PbbfParams::PSM),
+        pbbf(0.25, 0.05),
+        pbbf(0.5, 0.5),
+        pbbf(0.25, 1.0),
+        pbbf(1.0, 0.0),
+    ];
+    for mode in modes {
+        let sim = NetSim::new(cfg(300.0), mode);
+        assert_batch_matches_serial(&sim, &seeds, 7, &format!("{mode:?}"));
+    }
+}
+
+#[test]
+fn both_boundary_engines_match_serial_bitwise() {
+    // The merged loop reuses the serial settle machinery per lane; pin
+    // both the exact-replay and the geometric-skip paths against it.
+    for engine in [BoundaryEngine::Dense, BoundaryEngine::Geometric] {
+        let mut c = cfg(300.0);
+        c.boundary_engine = engine;
+        let sim = NetSim::new(c, pbbf(0.25, 0.5));
+        assert_batch_matches_serial(&sim, &[1, 2, 3, 4], 11, &format!("{engine:?}"));
+    }
+}
+
+#[test]
+fn randomized_configs_match_serial_bitwise() {
+    // Whole-run equivalence over a spread of scenario shapes: density,
+    // update rate, node count, duration, and deployment seed all vary.
+    struct Case {
+        nodes: usize,
+        delta: f64,
+        lambda: f64,
+        duration: f64,
+        mode: NetMode,
+        seeds: [u64; 2],
+        deploy_seed: u64,
+    }
+    let cases = [
+        Case {
+            nodes: 30,
+            delta: 12.0,
+            lambda: 0.02,
+            duration: 200.0,
+            mode: pbbf(0.75, 0.25),
+            seeds: [5, 6],
+            deploy_seed: 1,
+        },
+        Case {
+            nodes: 80,
+            delta: 8.0,
+            lambda: 0.005,
+            duration: 400.0,
+            mode: pbbf(0.1, 0.9),
+            seeds: [17, 99],
+            deploy_seed: 2,
+        },
+        Case {
+            nodes: 50,
+            delta: 18.0, // dense: real contention and collisions
+            lambda: 0.01,
+            duration: 300.0,
+            mode: NetMode::AlwaysOn,
+            seeds: [8, 21],
+            deploy_seed: 3,
+        },
+    ];
+    for (ci, case) in cases.iter().enumerate() {
+        let mut c = cfg(case.duration);
+        c.nodes = case.nodes;
+        c.delta = case.delta;
+        c.lambda = case.lambda;
+        let sim = NetSim::new(c, case.mode);
+        assert_batch_matches_serial(&sim, &case.seeds, case.deploy_seed, &format!("case {ci}"));
+    }
+}
+
+#[test]
+fn wide_batches_chunk_transparently() {
+    // More seeds than one 64-lane batch holds: chunking must be
+    // invisible in the results. Tiny scenario keeps 70 replicas cheap.
+    let mut c = cfg(60.0);
+    c.nodes = 20;
+    c.lambda = 0.05;
+    let sim = NetSim::new(c, pbbf(0.5, 0.5));
+    let seeds: Vec<u64> = (0..70).map(|i| 1000 + i * 13).collect();
+    let deployment = NetSim::draw_deployment(sim.config(), 4);
+    let batched = sim.run_replicas(&seeds, &deployment);
+    assert_eq!(batched.len(), seeds.len());
+    for (&seed, got) in seeds.iter().zip(&batched) {
+        assert_eq!(*got, sim.run_on(seed, &deployment), "seed {seed}");
+    }
+}
+
+#[test]
+fn adaptive_mode_falls_back_to_serial() {
+    let initial = PbbfParams::new(0.1, 0.3).unwrap();
+    let sim = NetSim::new(
+        cfg(200.0),
+        NetMode::Adaptive(AdaptiveConfig::default_for(initial)),
+    );
+    let deployment = NetSim::draw_deployment(sim.config(), 9);
+    let seeds = [2u64, 4];
+    let batched = sim.run_replicas(&seeds, &deployment);
+    for (&seed, got) in seeds.iter().zip(&batched) {
+        assert_eq!(*got, sim.run_on(seed, &deployment), "seed {seed}");
+        assert!(!got.adaptive_trace.is_empty(), "adaptive trace preserved");
+    }
+}
+
+#[test]
+fn empty_and_single_seed_batches() {
+    let sim = NetSim::new(cfg(100.0), pbbf(0.25, 0.05));
+    let deployment = NetSim::draw_deployment(sim.config(), 5);
+    assert!(sim.run_replicas(&[], &deployment).is_empty());
+    let one = sim.run_replicas(&[42], &deployment);
+    assert_eq!(one.len(), 1);
+    assert_eq!(one[0], sim.run_on(42, &deployment));
+}

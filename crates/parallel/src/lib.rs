@@ -137,6 +137,51 @@ where
         .collect()
 }
 
+/// Chunked point-level fan-out: like [`par_run_grouped`], but the unit
+/// of scheduling is a **run chunk** — `f(group, r0..r1)` computes runs
+/// `r0..r1` of `group` and returns their results in run order. The
+/// chunks of all groups form one flat job list, and the returned
+/// nesting is identical to [`par_run_grouped`]: `out[g][r]` = run `r`
+/// of group `g`.
+///
+/// This is the fan-out shape of replica batching: a chunk job can
+/// execute its runs through one lockstep batch (or any other shared
+/// setup — a cached deployment resolution, a reused simulator) instead
+/// of paying per-run overhead, while chunk boundaries stay deterministic
+/// (a pure function of `runs` and `chunk`, never of scheduling).
+/// `chunk == 1` degenerates to [`par_run_grouped`]'s job list.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero, or if `f` returns a vector whose length
+/// is not the chunk's run count. Re-raises panics from `f` like
+/// [`par_map`].
+pub fn par_run_grouped_chunked<R, F>(groups: usize, runs: usize, chunk: usize, f: F) -> Vec<Vec<R>>
+where
+    R: Send,
+    F: Fn(usize, std::ops::Range<usize>) -> Vec<R> + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let jobs: Vec<(usize, std::ops::Range<usize>)> = (0..groups)
+        .flat_map(|g| {
+            (0..runs)
+                .step_by(chunk)
+                .map(move |r0| (g, r0..(r0 + chunk).min(runs)))
+        })
+        .collect();
+    let chunks_per_group = jobs.len() / groups.max(1);
+    let mut flat = par_map(jobs, |(g, rs)| {
+        let want = rs.len();
+        let out = f(g, rs);
+        assert_eq!(out.len(), want, "chunk job must return one result per run");
+        out
+    })
+    .into_iter();
+    (0..groups)
+        .map(|_| flat.by_ref().take(chunks_per_group).flatten().collect())
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +223,33 @@ mod tests {
         );
         assert_eq!(par_run_grouped(2, 0, |_, r| r), vec![vec![], vec![]]);
         assert_eq!(par_run_grouped(0, 5, |g, _| g), Vec::<Vec<usize>>::new());
+    }
+
+    #[test]
+    fn chunked_runs_match_grouped() {
+        for chunk in [1, 3, 4, 7] {
+            let out =
+                par_run_grouped_chunked(3, 7, chunk, |g, rs| rs.map(|r| 10 * g + r).collect());
+            assert_eq!(
+                out,
+                par_run_grouped(3, 7, |g, r| 10 * g + r),
+                "chunk {chunk}"
+            );
+        }
+        assert_eq!(
+            par_run_grouped_chunked(2, 0, 4, |_, rs| rs.collect()),
+            vec![Vec::<usize>::new(), Vec::new()]
+        );
+        assert_eq!(
+            par_run_grouped_chunked(0, 5, 2, |g, _| vec![g]),
+            Vec::<Vec<usize>>::new()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one result per run")]
+    fn chunked_runs_enforce_chunk_lengths() {
+        let _ = par_run_grouped_chunked(1, 4, 2, |_, _| vec![0u32]);
     }
 
     #[test]

@@ -1,0 +1,388 @@
+//! The replica-laned collision channel.
+//!
+//! Lockstep replica batching (see `pbbf-net-sim`) runs `R` independent
+//! Monte Carlo replicas of one scenario through a single merged event
+//! loop. Each replica needs its own air state — its transmissions must
+//! never collide with another replica's — but all replicas share one
+//! topology, and at any instant they are flooding the same neighborhood
+//! of it. [`LanedChannel`] therefore extends the incremental engine's
+//! 16-byte [`NodeAir`](super::NodeAir) record into per-replica *lanes*:
+//! node `n`'s records for all lanes sit contiguously at
+//! `air[n * lanes ..]`, so when the batch's replicas touch node `n` at
+//! nearby event times, their lane records ride the same cache lines
+//! instead of `R` scattered per-replica arrays.
+//!
+//! Semantically a `LanedChannel` with `R` lanes behaves exactly like `R`
+//! independent [`Channel`](super::Channel)s over the same shared
+//! topology: every query and update takes a `lane` index and reads or
+//! writes only that lane's records. The active-transmission slot arena
+//! and the recycled mark buffers are shared across lanes (a slot knows
+//! its lane implicitly through the `tx_slot` that points at it), so peak
+//! allocation is bounded by the batch's total concurrency, not
+//! `lanes × per-lane peak`.
+
+use std::sync::Arc;
+
+use pbbf_des::{SimDuration, SimTime};
+use pbbf_topology::{NodeId, Topology};
+
+use super::{ActiveTx, Delivery, NodeAir, CORRUPT, NO_SLOT};
+use crate::Frame;
+
+/// A collision channel multiplexing independent replica lanes over one
+/// shared [`Topology`].
+///
+/// Lane `l` of a `LanedChannel` agrees bit-for-bit with a dedicated
+/// [`Channel`](super::Channel) driven with lane `l`'s schedule: same
+/// carrier-sense answers, same panics, same [`Delivery`] outcomes in the
+/// same CSR-neighbor order (`tests` below pin that against the
+/// single-lane engine).
+///
+/// # Examples
+///
+/// ```
+/// use pbbf_des::{SimDuration, SimTime};
+/// use pbbf_radio::{Frame, LanedChannel};
+/// use pbbf_topology::{Grid, NodeId};
+///
+/// let mut ch = LanedChannel::new(Grid::new(1, 3, 1.0).into_topology(), 2);
+/// let t0 = SimTime::ZERO;
+/// let end = ch.begin_tx(0, t0, Frame::beacon(NodeId(0)), SimDuration::from_millis(10));
+/// // Lane 1 is a separate medium: node 1 hears nothing there.
+/// assert!(ch.carrier_busy(0, NodeId(1)));
+/// assert!(!ch.carrier_busy(1, NodeId(1)));
+/// let mut out = Vec::new();
+/// let frame = ch.end_tx_into(0, end, NodeId(0), &mut out);
+/// assert_eq!(frame.src, NodeId(0));
+/// assert!(out.iter().all(|d| d.clean));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LanedChannel {
+    /// Shared, not owned — every lane reads the same CSR adjacency.
+    topology: Arc<Topology>,
+    lanes: usize,
+    /// Active transmissions of *all* lanes, slot-addressed; freed slots
+    /// are recycled across lanes.
+    slots: Vec<Option<ActiveTx>>,
+    free_slots: Vec<u32>,
+    /// Per-(node, lane) air records, lane-interleaved:
+    /// `air[node * lanes + lane]`.
+    air: Vec<NodeAir>,
+    active: usize,
+    spare_marks: Vec<Vec<u64>>,
+}
+
+impl LanedChannel {
+    /// Creates a channel with `lanes` independent replica lanes over
+    /// `topology` — owned (wrapped into a fresh [`Arc`]) or already
+    /// shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    #[must_use]
+    pub fn new(topology: impl Into<Arc<Topology>>, lanes: usize) -> Self {
+        assert!(lanes > 0, "a laned channel needs at least one lane");
+        let topology = topology.into();
+        let n = topology.len();
+        Self {
+            topology,
+            lanes,
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            air: vec![NodeAir::IDLE; n * lanes],
+            active: 0,
+            spare_marks: Vec::new(),
+        }
+    }
+
+    /// Number of replica lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The underlying topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The shared handle to the underlying topology.
+    #[must_use]
+    pub fn topology_arc(&self) -> &Arc<Topology> {
+        &self.topology
+    }
+
+    #[inline]
+    fn idx(&self, node: NodeId) -> usize {
+        node.index() * self.lanes
+    }
+
+    /// Whether `node` senses lane `lane` busy: it is transmitting there
+    /// itself or can hear one of that lane's ongoing transmissions.
+    #[must_use]
+    pub fn carrier_busy(&self, lane: usize, node: NodeId) -> bool {
+        let a = &self.air[self.idx(node) + lane];
+        a.tx_slot != NO_SLOT || a.audible > 0
+    }
+
+    /// Whether `node` is currently transmitting on lane `lane`.
+    #[must_use]
+    pub fn is_transmitting(&self, lane: usize, node: NodeId) -> bool {
+        self.air[self.idx(node) + lane].tx_slot != NO_SLOT
+    }
+
+    /// Number of in-flight transmissions across all lanes.
+    #[must_use]
+    pub fn active_count(&self) -> usize {
+        self.active
+    }
+
+    /// Starts a transmission of `frame` on lane `lane`; returns the end
+    /// time the caller must schedule the matching
+    /// [`LanedChannel::end_tx_into`] at. The collision bookkeeping is
+    /// exactly [`Channel::begin_tx`](super::Channel::begin_tx), confined
+    /// to the lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source is already transmitting on this lane.
+    pub fn begin_tx(
+        &mut self,
+        lane: usize,
+        now: SimTime,
+        frame: Frame,
+        duration: SimDuration,
+    ) -> SimTime {
+        let src = frame.src;
+        let src_idx = self.idx(src) + lane;
+        assert!(
+            self.air[src_idx].tx_slot == NO_SLOT,
+            "{src} began a transmission while already transmitting"
+        );
+        let mut rx_marks = self.spare_marks.pop().unwrap_or_default();
+        let lanes = self.lanes;
+        for &r in self.topology.neighbors(src) {
+            let a = &mut self.air[r.index() * lanes + lane];
+            let corrupt = a.audible > 0 || a.tx_slot != NO_SLOT;
+            a.audible += 1;
+            a.mark += 1;
+            rx_marks.push(if corrupt { CORRUPT } else { a.mark });
+        }
+        // A radio cannot receive while transmitting: beginning kills any
+        // reception in progress at the source (on this lane).
+        self.air[src_idx].mark += 1;
+        let end = now + duration;
+        let tx = ActiveTx {
+            frame,
+            start: now,
+            end,
+            rx_marks,
+        };
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(tx);
+                s
+            }
+            None => {
+                self.slots.push(Some(tx));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        debug_assert_ne!(slot, NO_SLOT, "slot index collides with sentinel");
+        self.air[src_idx].tx_slot = slot;
+        self.active += 1;
+        end
+    }
+
+    /// Completes `src`'s transmission on lane `lane`, writing the
+    /// per-neighbor delivery outcomes into `out` (cleared first) and
+    /// returning the frame — [`Channel::end_tx_into`](super::Channel::end_tx_into),
+    /// confined to the lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` has no transmission in flight on this lane or
+    /// `now` is not its scheduled end time.
+    pub fn end_tx_into(
+        &mut self,
+        lane: usize,
+        now: SimTime,
+        src: NodeId,
+        out: &mut Vec<Delivery>,
+    ) -> Frame {
+        let src_idx = self.idx(src) + lane;
+        let slot = self.air[src_idx].tx_slot;
+        assert!(slot != NO_SLOT, "{src} has no transmission in flight");
+        self.air[src_idx].tx_slot = NO_SLOT;
+        let tx = self.slots[slot as usize]
+            .take()
+            .expect("slot holds the active transmission");
+        self.free_slots.push(slot);
+        self.active -= 1;
+        assert_eq!(tx.end, now, "end_tx at the wrong time for {src}");
+        out.clear();
+        let neighbors = self.topology.neighbors(src);
+        out.reserve(neighbors.len());
+        let lanes = self.lanes;
+        for (&r, &m) in neighbors.iter().zip(&tx.rx_marks) {
+            let a = &mut self.air[r.index() * lanes + lane];
+            a.audible -= 1;
+            out.push(Delivery {
+                receiver: r,
+                clean: m == a.mark && a.tx_slot == NO_SLOT,
+                started: tx.start,
+            });
+        }
+        let ActiveTx {
+            frame,
+            mut rx_marks,
+            ..
+        } = tx;
+        rx_marks.clear();
+        self.spare_marks.push(rx_marks);
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Channel;
+    use super::*;
+    use pbbf_des::SimRng;
+    use pbbf_topology::Grid;
+
+    fn line(n: u32) -> Topology {
+        Grid::new(1, n, 1.0).into_topology()
+    }
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn d(s: f64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn lanes_are_isolated_media() {
+        // A transmission on lane 0 is inaudible — and non-colliding — on
+        // lane 1.
+        let mut ch = LanedChannel::new(line(3), 2);
+        let e0 = ch.begin_tx(0, t(0.0), Frame::beacon(NodeId(0)), d(0.02));
+        let e1 = ch.begin_tx(1, t(0.01), Frame::beacon(NodeId(2)), d(0.02));
+        assert!(ch.carrier_busy(0, NodeId(1)));
+        assert!(ch.carrier_busy(1, NodeId(1)));
+        assert!(!ch.is_transmitting(1, NodeId(0)));
+        assert!(!ch.is_transmitting(0, NodeId(2)));
+        let mut out = Vec::new();
+        let _ = ch.end_tx_into(0, e0, NodeId(0), &mut out);
+        assert!(out.iter().all(|x| x.clean), "no cross-lane collision");
+        let _ = ch.end_tx_into(1, e1, NodeId(2), &mut out);
+        assert!(out.iter().all(|x| x.clean));
+        assert_eq!(ch.active_count(), 0);
+    }
+
+    #[test]
+    fn same_lane_still_collides() {
+        // 0 - 1 - 2 on one lane: hidden-terminal collision at node 1.
+        let mut ch = LanedChannel::new(line(3), 4);
+        let e0 = ch.begin_tx(2, t(0.0), Frame::beacon(NodeId(0)), d(0.02));
+        let e2 = ch.begin_tx(2, t(0.01), Frame::beacon(NodeId(2)), d(0.02));
+        let mut out = Vec::new();
+        let _ = ch.end_tx_into(2, e0, NodeId(0), &mut out);
+        assert!(!out[0].clean);
+        let _ = ch.end_tx_into(2, e2, NodeId(2), &mut out);
+        assert!(!out[0].clean);
+    }
+
+    #[test]
+    #[should_panic(expected = "already transmitting")]
+    fn double_tx_on_one_lane_panics() {
+        let mut ch = LanedChannel::new(line(2), 2);
+        ch.begin_tx(1, t(0.0), Frame::beacon(NodeId(0)), d(0.1));
+        ch.begin_tx(1, t(0.01), Frame::beacon(NodeId(0)), d(0.1));
+    }
+
+    #[test]
+    fn same_node_may_transmit_on_every_lane() {
+        let mut ch = LanedChannel::new(line(2), 3);
+        let mut ends = Vec::new();
+        for lane in 0..3 {
+            ends.push(ch.begin_tx(lane, t(0.0), Frame::beacon(NodeId(0)), d(0.1)));
+        }
+        assert_eq!(ch.active_count(), 3);
+        let mut out = Vec::new();
+        for (lane, end) in ends.into_iter().enumerate() {
+            let _ = ch.end_tx_into(lane, end, NodeId(0), &mut out);
+            assert!(out.iter().all(|x| x.clean));
+        }
+    }
+
+    /// The contract the replica runner rests on: each lane of a
+    /// [`LanedChannel`] driven with a randomized schedule agrees exactly
+    /// with a dedicated single-lane [`Channel`] driven with the same
+    /// schedule.
+    #[test]
+    fn every_lane_matches_a_dedicated_channel() {
+        const LANES: usize = 3;
+        let topo = Arc::new(
+            {
+                let mut rng = SimRng::new(5);
+                pbbf_topology::RandomDeployment::connected_with_density(
+                    60, 30.0, 8.0, 200, &mut rng,
+                )
+                .expect("connected")
+            }
+            .into_topology(),
+        );
+        let n = topo.len() as u64;
+        let mut laned = LanedChannel::new(Arc::clone(&topo), LANES);
+        let mut solos: Vec<Channel> = (0..LANES)
+            .map(|_| Channel::new(Arc::clone(&topo)))
+            .collect();
+        let mut rng = SimRng::new(17);
+        // (end, lane, src) of in-flight transmissions, popped in end order.
+        let mut inflight: Vec<(SimTime, usize, NodeId)> = Vec::new();
+        let mut laned_out = Vec::new();
+        let mut solo_out = Vec::new();
+        for step in 0..4000u64 {
+            let now = SimTime::from_nanos(step * 500_000);
+            inflight.sort_by_key(|&(end, lane, _)| (end, lane));
+            while let Some(&(end, lane, src)) = inflight.first() {
+                if end > now {
+                    break;
+                }
+                inflight.remove(0);
+                let fl = laned.end_tx_into(lane, end, src, &mut laned_out);
+                let fs = solos[lane].end_tx_into(end, src, &mut solo_out);
+                assert_eq!(fl, fs);
+                assert_eq!(laned_out, solo_out, "lane {lane} deliveries diverged");
+            }
+            let lane = rng.below(LANES as u64) as usize;
+            let node = NodeId(rng.below(n) as u32);
+            assert_eq!(
+                laned.carrier_busy(lane, node),
+                solos[lane].carrier_busy(node)
+            );
+            assert_eq!(
+                laned.is_transmitting(lane, node),
+                solos[lane].is_transmitting(node)
+            );
+            if !laned.carrier_busy(lane, node) {
+                let air = SimDuration::from_nanos(100_000 + rng.below(3_000_000));
+                let el = laned.begin_tx(lane, now, Frame::beacon(node), air);
+                let es = solos[lane].begin_tx(now, Frame::beacon(node), air);
+                assert_eq!(el, es);
+                inflight.push((el, lane, node));
+            }
+        }
+        inflight.sort_by_key(|&(end, lane, _)| (end, lane));
+        for (end, lane, src) in inflight {
+            let _ = laned.end_tx_into(lane, end, src, &mut laned_out);
+            let _ = solos[lane].end_tx_into(end, src, &mut solo_out);
+            assert_eq!(laned_out, solo_out);
+        }
+    }
+}

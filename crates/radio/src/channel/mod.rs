@@ -15,6 +15,7 @@
 //! whole-run equivalence tests in `pbbf-net-sim` enforce that.
 
 pub mod brute;
+pub mod laned;
 
 use std::sync::Arc;
 
