@@ -282,6 +282,16 @@ impl Serialize for f32 {
     }
 }
 
+/// A [`Json`] tree serializes as itself — the identity. This is what
+/// lets a derived struct carry an *opaque* `Json` field (the sweep
+/// fabric's shard payloads travel this way: the supervisor forwards a
+/// job it never interprets).
+impl Serialize for Json {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}
+
 impl Serialize for bool {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         serializer.serialize_value(Json::Bool(*self))
@@ -431,6 +441,13 @@ impl<'de> Deserialize<'de> for f32 {
     }
 }
 
+/// The identity deserialization: any [`Json`] tree is a `Json`.
+impl<'de> Deserialize<'de> for Json {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.take_value()
+    }
+}
+
 impl<'de> Deserialize<'de> for bool {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         match deserializer.take_value()? {
@@ -506,6 +523,19 @@ mod tests {
         assert_eq!(from_value::<f64>(Json::U64(7)).unwrap(), 7.0);
         assert!(from_value::<u8>(Json::U64(300)).is_err());
         assert!(from_value::<bool>(Json::U64(1)).is_err());
+    }
+
+    #[test]
+    fn json_is_its_own_identity() {
+        let v = Json::Obj(vec![
+            ("k".to_string(), Json::U64(3)),
+            (
+                "vals".to_string(),
+                Json::Arr(vec![Json::Null, Json::F64(0.5)]),
+            ),
+        ]);
+        assert_eq!(to_value(&v), v);
+        assert_eq!(from_value::<Json>(v.clone()).unwrap(), v);
     }
 
     #[test]

@@ -30,6 +30,7 @@ mod ideal_figs;
 mod net_figs;
 mod percolation_figs;
 mod registry;
+pub mod sweep;
 mod tables;
 mod tradeoff_fig;
 

@@ -1,0 +1,40 @@
+//! Fault-tolerant multi-process sweep fabric.
+//!
+//! The paper's figures are embarrassingly-parallel Monte Carlo sweeps,
+//! and every run's values are a pure function of its manifest inputs —
+//! so sharding a sweep across worker *processes* is sound by
+//! construction: a re-executed shard is bitwise-identical, which makes
+//! retry idempotent and lets a supervisor treat workers as disposable.
+//!
+//! This crate is the generic half of that story; it never interprets
+//! the work itself. A [`ShardSpec`](protocol::ShardSpec) carries an
+//! opaque JSON job, workers echo back bit-exact value vectors
+//! ([`protocol::ShardResult`], f64s shipped as raw bit patterns with an
+//! FNV checksum), the [`supervisor`] assigns shards, enforces
+//! wall-clock deadlines, retries failures with bounded exponential
+//! backoff, quarantines repeat offenders, and degrades to in-process
+//! execution when no workers survive — and the [`merge::ShardMerger`]
+//! folds results by manifest position so arrival order, duplicates, and
+//! worker identity cannot leak into the output bytes. The binding to
+//! actual figure sweeps (job encoding/execution) lives in
+//! `pbbf-experiments::sweep`; the `pbbf` binary wires the two together.
+//!
+//! [`fault::FaultPlan`] implements the `PBBF_FAULT` injection hooks the
+//! CI fault-injection job drives; only worker processes honor them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod merge;
+pub mod protocol;
+pub mod supervisor;
+pub mod worker;
+
+pub use merge::ShardMerger;
+pub use protocol::{ShardResult, ShardSpec, WorkerReply};
+pub use supervisor::{
+    run_sweep, ProcessWorkerFactory, ShardInput, SweepOptions, SweepOutcome, SweepStats,
+    WorkerEvent, WorkerFactory, WorkerLink,
+};
+pub use worker::worker_loop;

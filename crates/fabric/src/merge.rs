@@ -1,0 +1,113 @@
+//! Deterministic re-merge: fold shard results by manifest position.
+//!
+//! The merger is the reason the fabric's output cannot depend on
+//! scheduling: every accepted result lands in the slot its manifest id
+//! names, duplicates (a retried shard whose first reply arrived late)
+//! are dropped on the floor, and the final fold reads slots in manifest
+//! order. Permutation- and duplicate-invariance are properties of this
+//! data structure, not of supervisor discipline — and are property-
+//! tested as such in `tests/merge_props.rs`.
+
+/// Accumulates per-shard value vectors by manifest position.
+#[derive(Debug)]
+pub struct ShardMerger {
+    slots: Vec<Option<Vec<Option<f64>>>>,
+    missing: usize,
+}
+
+impl ShardMerger {
+    /// A merger expecting `shards` result vectors.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        Self {
+            slots: vec![None; shards],
+            missing: shards,
+        }
+    }
+
+    /// Accepts shard `id`'s values. Returns `false` — and changes
+    /// nothing — when the slot is already filled (a duplicate delivery)
+    /// or `id` is out of range; the values of a re-executed shard are
+    /// bitwise identical by construction, so first-wins is not a race,
+    /// it's a no-op.
+    pub fn offer(&mut self, id: usize, values: Vec<Option<f64>>) -> bool {
+        match self.slots.get_mut(id) {
+            Some(slot @ None) => {
+                *slot = Some(values);
+                self.missing -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether shard `id` has been folded already.
+    #[must_use]
+    pub fn has(&self, id: usize) -> bool {
+        self.slots.get(id).is_some_and(Option::is_some)
+    }
+
+    /// Number of shards still missing.
+    #[must_use]
+    pub fn missing(&self) -> usize {
+        self.missing
+    }
+
+    /// Whether every shard has arrived.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.missing == 0
+    }
+
+    /// The folded result vectors, in manifest order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any shard is still missing.
+    #[must_use]
+    pub fn into_values(self) -> Vec<Vec<Option<f64>>> {
+        assert!(self.missing == 0, "merge incomplete: missing shards");
+        self.slots
+            .into_iter()
+            .map(|s| s.expect("complete merge has every slot"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_and_completes() {
+        let mut m = ShardMerger::new(3);
+        assert!(!m.is_complete());
+        assert!(m.offer(1, vec![Some(1.0)]));
+        assert!(m.offer(0, vec![None]));
+        assert_eq!(m.missing(), 1);
+        assert!(m.offer(2, vec![Some(2.0), Some(3.0)]));
+        assert!(m.is_complete());
+        assert_eq!(
+            m.into_values(),
+            vec![vec![None], vec![Some(1.0)], vec![Some(2.0), Some(3.0)]]
+        );
+    }
+
+    #[test]
+    fn duplicates_and_strays_are_rejected() {
+        let mut m = ShardMerger::new(2);
+        assert!(m.offer(0, vec![Some(1.0)]));
+        assert!(!m.offer(0, vec![Some(99.0)]), "duplicate folds once");
+        assert!(!m.offer(5, vec![Some(1.0)]), "out of range");
+        assert!(m.has(0));
+        assert!(!m.has(1));
+        assert!(m.offer(1, vec![]));
+        assert_eq!(m.into_values()[0], vec![Some(1.0)], "first delivery wins");
+    }
+
+    #[test]
+    #[should_panic(expected = "merge incomplete")]
+    fn incomplete_merge_refuses_to_fold() {
+        let _ = ShardMerger::new(2).into_values();
+    }
+}

@@ -1,0 +1,659 @@
+//! The supervisor: shard assignment, liveness, retry, quarantine.
+//!
+//! [`run_sweep`] drives a fixed fleet of workers (spawned once through
+//! a [`WorkerFactory`]; the fleet only ever shrinks) over a manifest of
+//! opaque shards. The failure policy, in one paragraph: a shard that
+//! crashes its worker, overruns its wall-clock deadline, or comes back
+//! corrupt (bad parse, wrong length, checksum mismatch) is retried on
+//! a healthy worker after bounded exponential backoff; a worker that
+//! repeatedly produces corrupt output — or hangs — is quarantined
+//! (killed, never respawned); a shard that exhausts its delivery
+//! attempts is executed in-process, as is the whole remaining manifest
+//! when no healthy workers are left (including the spawn-failed-
+//! entirely case). Results fold through [`ShardMerger`] by manifest
+//! position, so none of this scheduling is visible in the output: the
+//! sweep's bytes match the single-process fold exactly.
+//!
+//! Late replies are welcome: a result arriving from a worker that was
+//! already written off still folds (shard values are deterministic, so
+//! *any* structurally valid copy is the right copy), and the retry's
+//! duplicate is dropped by the merger.
+
+use std::io::Write as _;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+use serde_json::Value as Json;
+
+use crate::merge::ShardMerger;
+use crate::protocol::{checksum, decode_values, ShardSpec, WorkerReply};
+
+/// What a worker's reader pump delivers to the supervisor.
+#[derive(Debug)]
+pub enum WorkerEvent {
+    /// One stdout line from the worker.
+    Line {
+        /// The worker's id.
+        worker: u64,
+        /// The raw line (unparsed; the supervisor validates it).
+        line: String,
+    },
+    /// The worker's stdout closed — it exited or was killed.
+    Gone {
+        /// The worker's id.
+        worker: u64,
+    },
+}
+
+/// The supervisor's handle on one worker.
+pub trait WorkerLink {
+    /// Delivers one shard-spec line to the worker.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error means the worker is unreachable; the supervisor
+    /// writes it off.
+    fn send_line(&mut self, line: &str) -> std::io::Result<()>;
+
+    /// Forcibly terminates the worker. Idempotent.
+    fn kill(&mut self);
+}
+
+/// Spawns workers. Abstracted so the retry/quarantine machinery is
+/// testable with in-process mock workers (no subprocess flakiness).
+pub trait WorkerFactory {
+    /// Spawns worker `worker` (unique id) and wires its output to
+    /// `events`. The returned link must deliver a
+    /// [`WorkerEvent::Gone`] when the worker stops producing output.
+    ///
+    /// # Errors
+    ///
+    /// A spawn failure is not fatal to the sweep — the supervisor
+    /// degrades to whatever fleet it got, down to none (in-process).
+    fn spawn(
+        &self,
+        slot: usize,
+        worker: u64,
+        events: Sender<WorkerEvent>,
+    ) -> std::io::Result<Box<dyn WorkerLink>>;
+}
+
+/// Spawns `program args...` per worker with piped stdin/stdout; a
+/// reader thread pumps stdout lines into the event channel. Stderr is
+/// inherited so worker diagnostics reach the operator unfiltered.
+pub struct ProcessWorkerFactory {
+    /// Worker executable.
+    pub program: std::path::PathBuf,
+    /// Arguments passed to every worker.
+    pub args: Vec<String>,
+}
+
+impl ProcessWorkerFactory {
+    /// A factory re-invoking this very binary with `args` (the `pbbf
+    /// sweep` → `pbbf worker` shape).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the current executable's path can't be determined.
+    pub fn current_exe<I, S>(args: I) -> std::io::Result<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Ok(Self {
+            program: std::env::current_exe()?,
+            args: args.into_iter().map(Into::into).collect(),
+        })
+    }
+}
+
+struct ProcessLink {
+    child: std::process::Child,
+    stdin: Option<std::process::ChildStdin>,
+}
+
+impl WorkerLink for ProcessLink {
+    fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        let stdin = self
+            .stdin
+            .as_mut()
+            .ok_or_else(|| std::io::Error::other("worker stdin closed"))?;
+        stdin.write_all(line.as_bytes())?;
+        stdin.write_all(b"\n")?;
+        stdin.flush()
+    }
+
+    fn kill(&mut self) {
+        self.stdin.take(); // EOF first: a healthy worker exits on its own
+        let _ = self.child.kill();
+        let _ = self.child.wait(); // reap; SIGKILL makes this prompt
+    }
+}
+
+impl Drop for ProcessLink {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+impl WorkerFactory for ProcessWorkerFactory {
+    fn spawn(
+        &self,
+        _slot: usize,
+        worker: u64,
+        events: Sender<WorkerEvent>,
+    ) -> std::io::Result<Box<dyn WorkerLink>> {
+        let mut child = std::process::Command::new(&self.program)
+            .args(&self.args)
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::inherit())
+            .spawn()?;
+        let stdin = child.stdin.take().expect("stdin was piped");
+        let stdout = child.stdout.take().expect("stdout was piped");
+        std::thread::spawn(move || {
+            use std::io::BufRead;
+            for line in std::io::BufReader::new(stdout).lines() {
+                let Ok(line) = line else { break };
+                if events.send(WorkerEvent::Line { worker, line }).is_err() {
+                    return; // supervisor gone; nothing to report to
+                }
+            }
+            let _ = events.send(WorkerEvent::Gone { worker });
+        });
+        Ok(Box::new(ProcessLink {
+            child,
+            stdin: Some(stdin),
+        }))
+    }
+}
+
+/// One shard of work for [`run_sweep`].
+#[derive(Debug, Clone)]
+pub struct ShardInput {
+    /// Opaque job payload, forwarded to workers verbatim.
+    pub job: Json,
+    /// Number of values the shard must produce.
+    pub expect: usize,
+}
+
+/// Failure-policy knobs.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Fleet size to spawn (clamped to the shard count; min 1).
+    pub workers: usize,
+    /// Per-shard wall-clock deadline; an overrun quarantines the
+    /// worker and retries the shard.
+    pub shard_timeout: Duration,
+    /// First retry delay; doubles per failed attempt.
+    pub backoff_base: Duration,
+    /// Retry delay ceiling.
+    pub backoff_cap: Duration,
+    /// Worker deliveries per shard before it runs in-process.
+    pub max_shard_attempts: u32,
+    /// Corrupt replies tolerated per worker before quarantine.
+    pub max_worker_strikes: u32,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        Self {
+            workers: pbbf_parallel::max_threads(),
+            shard_timeout: Duration::from_secs(120),
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            max_shard_attempts: 4,
+            max_worker_strikes: 2,
+        }
+    }
+}
+
+/// What happened along the way (stderr-reporting material; none of it
+/// can influence the output values).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Workers successfully spawned.
+    pub workers_spawned: usize,
+    /// Workers that failed to spawn.
+    pub spawn_failures: usize,
+    /// Shard deliveries beyond each shard's first.
+    pub retries: u64,
+    /// Shards whose worker died mid-flight.
+    pub crashes: u64,
+    /// Shards that overran the wall-clock deadline.
+    pub timeouts: u64,
+    /// Structurally invalid replies (parse, length, or checksum).
+    pub corrupt: u64,
+    /// Shards the worker refused as malformed.
+    pub refused: u64,
+    /// Workers killed for hanging or repeated corruption.
+    pub quarantined: u64,
+    /// Shards executed in-process (attempt exhaustion or no fleet).
+    pub inproc_shards: u64,
+}
+
+impl std::fmt::Display for SweepStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "workers {} (+{} spawn failures), retries {}, crashes {}, \
+             timeouts {}, corrupt {}, refused {}, quarantined {}, in-process shards {}",
+            self.workers_spawned,
+            self.spawn_failures,
+            self.retries,
+            self.crashes,
+            self.timeouts,
+            self.corrupt,
+            self.refused,
+            self.quarantined,
+            self.inproc_shards
+        )
+    }
+}
+
+/// A completed sweep: per-shard values in manifest order, plus the
+/// fault ledger.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Shard value vectors, indexed by manifest position.
+    pub values: Vec<Vec<Option<f64>>>,
+    /// What it took to get them.
+    pub stats: SweepStats,
+}
+
+enum ShardStatus {
+    Pending { eligible_at: Instant },
+    Running { worker: u64, deadline: Instant },
+    Done,
+}
+
+struct Shard {
+    job: Json,
+    expect: usize,
+    attempt: u32,
+    status: ShardStatus,
+}
+
+struct Worker {
+    id: u64,
+    link: Box<dyn WorkerLink>,
+    strikes: u32,
+    current: Option<usize>,
+    healthy: bool,
+}
+
+struct Supervisor<'a, E> {
+    shards: Vec<Shard>,
+    workers: Vec<Worker>,
+    merger: ShardMerger,
+    stats: SweepStats,
+    opts: &'a SweepOptions,
+    exec: &'a E,
+}
+
+/// Runs `shards` to completion across a worker fleet, returning every
+/// shard's values in manifest order.
+///
+/// `exec` is the in-process fallback executor — the same computation
+/// the workers perform, minus the process boundary. It runs when a
+/// shard exhausts its delivery attempts or when no healthy workers
+/// remain (including "none ever spawned"), so a sweep *completes* under
+/// any failure pattern the fabric can see.
+///
+/// # Errors
+///
+/// Fails only when a shard cannot be computed at all — i.e. the
+/// in-process fallback itself reports an error. Worker-side failures
+/// never surface here; they are retried away.
+pub fn run_sweep<E>(
+    inputs: Vec<ShardInput>,
+    opts: &SweepOptions,
+    factory: &dyn WorkerFactory,
+    exec: E,
+) -> Result<SweepOutcome, String>
+where
+    E: Fn(&Json) -> Result<Vec<Option<f64>>, String> + Sync,
+{
+    let now = Instant::now();
+    let mut sup = Supervisor {
+        merger: ShardMerger::new(inputs.len()),
+        shards: inputs
+            .into_iter()
+            .map(|s| Shard {
+                job: s.job,
+                expect: s.expect,
+                attempt: 0,
+                status: ShardStatus::Pending { eligible_at: now },
+            })
+            .collect(),
+        workers: Vec::new(),
+        stats: SweepStats::default(),
+        opts,
+        exec: &exec,
+    };
+    if sup.shards.is_empty() {
+        return Ok(SweepOutcome {
+            values: Vec::new(),
+            stats: sup.stats,
+        });
+    }
+
+    // `tx` stays alive here for the whole sweep, so the channel never
+    // disconnects even after the last worker dies.
+    let (tx, rx) = std::sync::mpsc::channel();
+    let fleet = opts.workers.clamp(1, sup.shards.len());
+    for slot in 0..fleet {
+        let id = slot as u64 + 1; // workers never respawn, so slots are ids
+        match factory.spawn(slot, id, tx.clone()) {
+            Ok(link) => {
+                sup.stats.workers_spawned += 1;
+                sup.workers.push(Worker {
+                    id,
+                    link,
+                    strikes: 0,
+                    current: None,
+                    healthy: true,
+                });
+            }
+            Err(e) => {
+                sup.stats.spawn_failures += 1;
+                eprintln!("pbbf sweep: worker {id} failed to spawn: {e}");
+            }
+        }
+    }
+    sup.run(&rx)
+}
+
+impl<E> Supervisor<'_, E>
+where
+    E: Fn(&Json) -> Result<Vec<Option<f64>>, String> + Sync,
+{
+    fn run(mut self, rx: &Receiver<WorkerEvent>) -> Result<SweepOutcome, String> {
+        while !self.merger.is_complete() {
+            let now = Instant::now();
+            self.assign(now)?;
+            if self.merger.is_complete() {
+                break;
+            }
+            if self.healthy_workers() == 0 {
+                self.drain_in_process()?;
+                break;
+            }
+            match rx.recv_timeout(self.next_wait(Instant::now())) {
+                Ok(WorkerEvent::Line { worker, line }) => self.on_line(worker, &line)?,
+                Ok(WorkerEvent::Gone { worker }) => self.on_gone(worker)?,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("supervisor holds an event sender")
+                }
+            }
+            self.expire_deadlines(Instant::now())?;
+        }
+        for w in &mut self.workers {
+            w.link.kill(); // EOF/kill the fleet before folding
+        }
+        Ok(SweepOutcome {
+            values: self.merger.into_values(),
+            stats: self.stats,
+        })
+    }
+
+    fn healthy_workers(&self) -> usize {
+        self.workers.iter().filter(|w| w.healthy).count()
+    }
+
+    /// Hands every eligible pending shard (in manifest order) to an
+    /// idle healthy worker.
+    fn assign(&mut self, now: Instant) -> Result<(), String> {
+        loop {
+            let Some(sid) = self.shards.iter().position(
+                |s| matches!(s.status, ShardStatus::Pending { eligible_at } if eligible_at <= now),
+            ) else {
+                return Ok(());
+            };
+            let Some(widx) = self
+                .workers
+                .iter()
+                .position(|w| w.healthy && w.current.is_none())
+            else {
+                return Ok(());
+            };
+            let shard = &mut self.shards[sid];
+            let spec = ShardSpec {
+                id: sid as u32,
+                attempt: shard.attempt,
+                expect: shard.expect as u32,
+                job: shard.job.clone(),
+            };
+            let line = serde_json::to_string(&spec).map_err(|e| e.to_string())?;
+            shard.status = ShardStatus::Running {
+                worker: self.workers[widx].id,
+                deadline: now + self.opts.shard_timeout,
+            };
+            self.workers[widx].current = Some(sid);
+            if let Err(e) = self.workers[widx].link.send_line(&line) {
+                eprintln!(
+                    "pbbf sweep: worker {} unreachable ({e}); writing it off",
+                    self.workers[widx].id
+                );
+                self.stats.crashes += 1;
+                self.write_off(widx)?;
+            }
+        }
+    }
+
+    /// Marks a worker dead and recycles whatever it was running.
+    fn write_off(&mut self, widx: usize) -> Result<(), String> {
+        self.workers[widx].healthy = false;
+        self.workers[widx].link.kill();
+        if let Some(sid) = self.workers[widx].current.take() {
+            if matches!(self.shards[sid].status, ShardStatus::Running { .. }) {
+                self.fail_shard(sid)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// A corrupt reply: strike the sender, quarantine on repeat.
+    fn strike(&mut self, widx: usize) -> Result<(), String> {
+        self.stats.corrupt += 1;
+        self.workers[widx].strikes += 1;
+        if self.workers[widx].strikes >= self.opts.max_worker_strikes {
+            eprintln!(
+                "pbbf sweep: quarantining worker {} after {} corrupt replies",
+                self.workers[widx].id, self.workers[widx].strikes
+            );
+            self.stats.quarantined += 1;
+            self.write_off(widx)?;
+        } else if let Some(sid) = self.workers[widx].current.take() {
+            if matches!(self.shards[sid].status, ShardStatus::Running { .. }) {
+                self.fail_shard(sid)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reschedules a failed shard with backoff, or — attempts spent —
+    /// computes it right here.
+    fn fail_shard(&mut self, sid: usize) -> Result<(), String> {
+        let shard = &mut self.shards[sid];
+        shard.attempt += 1;
+        self.stats.retries += 1;
+        if shard.attempt >= self.opts.max_shard_attempts {
+            eprintln!("pbbf sweep: shard {sid} exhausted worker attempts; running in-process");
+            return self.run_in_process(sid);
+        }
+        let exp = shard.attempt.saturating_sub(1).min(16);
+        let backoff = self
+            .opts
+            .backoff_base
+            .checked_mul(1 << exp)
+            .unwrap_or(self.opts.backoff_cap)
+            .min(self.opts.backoff_cap);
+        shard.status = ShardStatus::Pending {
+            eligible_at: Instant::now() + backoff,
+        };
+        Ok(())
+    }
+
+    fn run_in_process(&mut self, sid: usize) -> Result<(), String> {
+        let values = (self.exec)(&self.shards[sid].job)
+            .map_err(|e| format!("shard {sid} failed in-process: {e}"))?;
+        self.accept(sid, values);
+        self.stats.inproc_shards += 1;
+        Ok(())
+    }
+
+    /// Folds a validated value vector and releases whoever was on it.
+    fn accept(&mut self, sid: usize, values: Vec<Option<f64>>) {
+        self.merger.offer(sid, values); // duplicate → no-op, by design
+        self.shards[sid].status = ShardStatus::Done;
+        for w in &mut self.workers {
+            if w.current == Some(sid) {
+                w.current = None;
+            }
+        }
+    }
+
+    fn on_line(&mut self, worker: u64, line: &str) -> Result<(), String> {
+        let Some(widx) = self.workers.iter().position(|w| w.id == worker) else {
+            return Ok(()); // unknown sender: drop
+        };
+        let reply: WorkerReply = match serde_json::from_str(line) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("pbbf sweep: unparseable reply from worker {worker}: {e}");
+                return self.strike(widx);
+            }
+        };
+        match reply {
+            WorkerReply::Result(r) => {
+                let sid = r.id as usize;
+                let valid = self.shards.get(sid).is_some_and(|s| {
+                    r.values.len() == s.expect && checksum(r.id, &r.values) == r.checksum
+                });
+                if !valid {
+                    eprintln!(
+                        "pbbf sweep: corrupt result for shard {} from worker {worker}",
+                        r.id
+                    );
+                    return self.strike(widx);
+                }
+                // Deterministic values: any structurally valid copy is
+                // correct, even from a worker we already wrote off.
+                self.accept(sid, decode_values(&r.values));
+                Ok(())
+            }
+            WorkerReply::Error(e) => {
+                // An honest refusal — the job itself is suspect. The
+                // retry ladder ends at the in-process executor, which
+                // surfaces a real error if the job truly is malformed.
+                eprintln!(
+                    "pbbf sweep: worker {worker} refused shard {}: {}",
+                    e.id, e.error
+                );
+                self.stats.refused += 1;
+                let sid = e.id as usize;
+                if self.workers[widx].current == Some(sid) {
+                    self.workers[widx].current = None;
+                    if matches!(
+                        self.shards.get(sid).map(|s| &s.status),
+                        Some(ShardStatus::Running { .. })
+                    ) {
+                        return self.fail_shard(sid);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn on_gone(&mut self, worker: u64) -> Result<(), String> {
+        let Some(widx) = self.workers.iter().position(|w| w.id == worker) else {
+            return Ok(());
+        };
+        if !self.workers[widx].healthy {
+            return Ok(()); // already written off (we killed it)
+        }
+        eprintln!("pbbf sweep: worker {worker} died");
+        self.stats.crashes += 1;
+        self.write_off(widx)
+    }
+
+    /// Kills workers whose shard overran its deadline; the shard
+    /// retries elsewhere, the worker is quarantined (a wedged process
+    /// is not worth more work).
+    fn expire_deadlines(&mut self, now: Instant) -> Result<(), String> {
+        loop {
+            let Some((sid, wid)) =
+                self.shards
+                    .iter()
+                    .enumerate()
+                    .find_map(|(i, s)| match s.status {
+                        ShardStatus::Running { worker, deadline } if deadline <= now => {
+                            Some((i, worker))
+                        }
+                        _ => None,
+                    })
+            else {
+                return Ok(());
+            };
+            eprintln!("pbbf sweep: shard {sid} timed out on worker {wid}; quarantining it");
+            self.stats.timeouts += 1;
+            self.stats.quarantined += 1;
+            if let Some(widx) = self.workers.iter().position(|w| w.id == wid) {
+                self.write_off(widx)?;
+            }
+            if matches!(self.shards[sid].status, ShardStatus::Running { .. }) {
+                // The worker no longer claimed this shard; recycle it
+                // directly so the scan above always makes progress.
+                self.fail_shard(sid)?;
+            }
+        }
+    }
+
+    /// No fleet left: compute every unfinished shard in-process, fanned
+    /// across the thread pool the workers were meant to replace.
+    fn drain_in_process(&mut self) -> Result<(), String> {
+        let todo: Vec<usize> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !matches!(s.status, ShardStatus::Done))
+            .map(|(i, _)| i)
+            .collect();
+        if todo.is_empty() {
+            return Ok(());
+        }
+        eprintln!(
+            "pbbf sweep: no healthy workers; running {} shard(s) in-process",
+            todo.len()
+        );
+        let exec = self.exec;
+        let jobs: Vec<&Json> = todo.iter().map(|&i| &self.shards[i].job).collect();
+        let results = pbbf_parallel::par_map(jobs, exec);
+        for (&sid, result) in todo.iter().zip(results) {
+            let values = result.map_err(|e| format!("shard {sid} failed in-process: {e}"))?;
+            self.accept(sid, values);
+            self.stats.inproc_shards += 1;
+        }
+        Ok(())
+    }
+
+    /// How long the event loop may sleep before something is due.
+    fn next_wait(&self, now: Instant) -> Duration {
+        let mut next: Option<Instant> = None;
+        for s in &self.shards {
+            let t = match s.status {
+                ShardStatus::Running { deadline, .. } => deadline,
+                ShardStatus::Pending { eligible_at } if eligible_at > now => eligible_at,
+                _ => continue,
+            };
+            next = Some(next.map_or(t, |n| n.min(t)));
+        }
+        next.map_or(Duration::from_millis(100), |t| {
+            t.saturating_duration_since(now)
+                .max(Duration::from_millis(1))
+        })
+    }
+}

@@ -1,0 +1,138 @@
+//! The worker side of the fabric: a stdin→stdout shard executor.
+//!
+//! `pbbf worker` calls [`worker_loop`] with an executor closure; the
+//! loop reads one [`ShardSpec`](crate::protocol::ShardSpec) JSON line
+//! at a time, executes it, and writes one
+//! [`WorkerReply`](crate::protocol::WorkerReply) line back, flushed per
+//! shard so the supervisor sees results the moment they exist. EOF on
+//! stdin is the shutdown signal — the supervisor just closes the pipe.
+//!
+//! Fault injection (`PBBF_FAULT`, parsed by
+//! [`FaultPlan::from_env`](crate::fault::FaultPlan::from_env)) is
+//! honored here and only here.
+
+use std::io::{BufRead, Write};
+
+use crate::fault::{FaultKind, FaultPlan};
+use crate::protocol::{checksum, encode_values, result_reply, ShardError, ShardSpec, WorkerReply};
+use serde_json::Value as Json;
+
+/// Runs the worker loop over this process's stdin/stdout until EOF,
+/// returning the process exit code.
+///
+/// `exec` maps an opaque job payload to its per-run values; an `Err`
+/// is reported to the supervisor as a refused shard (the worker stays
+/// alive). A stdin line that doesn't parse as a [`ShardSpec`] is
+/// unrecoverable — the worker can't even name the shard to refuse it —
+/// so the loop exits nonzero and lets the supervisor's liveness
+/// handling reassign whatever was in flight.
+pub fn worker_loop<E>(exec: E) -> i32
+where
+    E: Fn(&Json) -> Result<Vec<Option<f64>>, String>,
+{
+    let plan = FaultPlan::from_env();
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { return 1 };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let spec: ShardSpec = match serde_json::from_str(&line) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("pbbf worker: unparseable shard spec ({e}); exiting");
+                return 1;
+            }
+        };
+        let reply = match plan.fault_for(spec.id, spec.attempt) {
+            Some(FaultKind::Crash) => {
+                eprintln!("pbbf worker: injected crash on shard {}", spec.id);
+                return 3;
+            }
+            Some(FaultKind::Hang) => {
+                eprintln!("pbbf worker: injected hang on shard {}", spec.id);
+                loop {
+                    std::thread::sleep(std::time::Duration::from_secs(3600));
+                }
+            }
+            Some(FaultKind::Corrupt) => {
+                eprintln!("pbbf worker: injected corruption on shard {}", spec.id);
+                corrupt_reply(&spec, &exec)
+            }
+            None => match exec(&spec.job) {
+                Ok(values) => result_reply(spec.id, &values),
+                Err(error) => WorkerReply::Error(ShardError { id: spec.id, error }),
+            },
+        };
+        let rendered = serde_json::to_string(&reply).unwrap_or_else(|e| {
+            // Infallible with the shim; belt-and-braces for API parity.
+            format!(
+                "{{\"Error\":{{\"id\":{},\"error\":\"render: {e}\"}}}}",
+                spec.id
+            )
+        });
+        if writeln!(out, "{rendered}")
+            .and_then(|()| out.flush())
+            .is_err()
+        {
+            return 1; // supervisor hung up
+        }
+    }
+    0
+}
+
+/// Executes the shard for real, then flips one value bit while keeping
+/// the checksum computed over the *uncorrupted* values — exactly the
+/// torn-write shape the supervisor's checksum validation must catch.
+/// (With no `Some` value to flip, the checksum itself is perturbed.)
+fn corrupt_reply<E>(spec: &ShardSpec, exec: &E) -> WorkerReply
+where
+    E: Fn(&Json) -> Result<Vec<Option<f64>>, String>,
+{
+    let values = exec(&spec.job).unwrap_or_default();
+    let mut bits = encode_values(&values);
+    let stale = checksum(spec.id, &bits);
+    match bits.iter_mut().find_map(|b| b.as_mut()) {
+        Some(word) => *word ^= 1,
+        None => bits.push(Some(0)),
+    }
+    WorkerReply::Result(crate::protocol::ShardResult {
+        id: spec.id,
+        values: bits,
+        checksum: stale,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(id: u32) -> ShardSpec {
+        ShardSpec {
+            id,
+            attempt: 0,
+            expect: 2,
+            job: Json::Null,
+        }
+    }
+
+    #[test]
+    fn corruption_fails_checksum_validation() {
+        let exec = |_: &Json| Ok(vec![Some(1.5), None]);
+        let WorkerReply::Result(r) = corrupt_reply(&spec(9), &exec) else {
+            panic!("corrupt replies are Results");
+        };
+        assert_ne!(checksum(r.id, &r.values), r.checksum);
+    }
+
+    #[test]
+    fn corruption_with_no_samples_still_trips() {
+        let exec = |_: &Json| Ok(vec![None, None]);
+        let WorkerReply::Result(r) = corrupt_reply(&spec(2), &exec) else {
+            panic!("corrupt replies are Results");
+        };
+        assert_ne!(checksum(r.id, &r.values), r.checksum);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the deterministic re-merge: the aggregator's
+//! output must be a function of the manifest alone — never of arrival
+//! order or delivery count.
+
+use pbbf_fabric::ShardMerger;
+use proptest::prelude::*;
+
+/// Generated shard payloads: `(has_sample, value)` pairs become the
+/// `Option<f64>` run values of one shard.
+fn to_values(raw: &[(bool, f64)]) -> Vec<Option<f64>> {
+    raw.iter().map(|&(s, v)| s.then_some(v)).collect()
+}
+
+/// A permutation of `0..n` derived from `keys` (sort by key, stable).
+fn permutation(n: usize, keys: &[u64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| keys[i % keys.len()]);
+    order
+}
+
+proptest! {
+    #[test]
+    fn merge_is_permutation_invariant(
+        shards in prop::collection::vec(
+            prop::collection::vec((any::<bool>(), 0.0f64..=1.0), 0..5),
+            1..16,
+        ),
+        keys in prop::collection::vec(any::<u64>(), 16),
+    ) {
+        let shards: Vec<Vec<Option<f64>>> = shards.iter().map(|s| to_values(s)).collect();
+        let n = shards.len();
+
+        // Reference fold: manifest order.
+        let mut in_order = ShardMerger::new(n);
+        for (i, values) in shards.iter().enumerate() {
+            prop_assert!(in_order.offer(i, values.clone()));
+        }
+
+        // Same shards, adversarial arrival order.
+        let mut shuffled = ShardMerger::new(n);
+        for &i in &permutation(n, &keys) {
+            prop_assert!(shuffled.offer(i, shards[i].clone()));
+        }
+
+        prop_assert!(shuffled.is_complete());
+        prop_assert_eq!(shuffled.into_values(), in_order.into_values());
+    }
+
+    #[test]
+    fn merge_is_duplicate_invariant(
+        shards in prop::collection::vec(
+            prop::collection::vec((any::<bool>(), 0.0f64..=1.0), 0..5),
+            1..16,
+        ),
+        dup_keys in prop::collection::vec(any::<u64>(), 8),
+    ) {
+        let shards: Vec<Vec<Option<f64>>> = shards.iter().map(|s| to_values(s)).collect();
+        let n = shards.len();
+
+        let mut once = ShardMerger::new(n);
+        let mut with_dups = ShardMerger::new(n);
+        for (i, values) in shards.iter().enumerate() {
+            prop_assert!(once.offer(i, values.clone()));
+            prop_assert!(with_dups.offer(i, values.clone()));
+        }
+        // Re-deliver a handful of shards, as a late retry would. The
+        // duplicates carry *perturbed* values to prove they are ignored
+        // outright, not merely identical-by-luck. (Real duplicates are
+        // bitwise identical — this is strictly harsher.)
+        for &k in &dup_keys {
+            let i = (k % n as u64) as usize;
+            let perturbed: Vec<Option<f64>> =
+                shards[i].iter().map(|v| v.map(|x| x + 1.0)).collect();
+            prop_assert!(!with_dups.offer(i, perturbed), "duplicate must be rejected");
+        }
+
+        prop_assert_eq!(with_dups.into_values(), once.into_values());
+    }
+}

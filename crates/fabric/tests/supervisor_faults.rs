@@ -1,0 +1,335 @@
+//! Supervisor failure-path tests against scripted in-process mock
+//! workers: every recovery route — crash, hang, corrupt output,
+//! quarantine, spawn failure, fleet collapse, duplicate replies — must
+//! end in the same values a faultless run produces.
+
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pbbf_fabric::protocol::{result_reply, ShardError, ShardSpec, WorkerReply};
+use pbbf_fabric::{run_sweep, ShardInput, SweepOptions, WorkerEvent, WorkerFactory, WorkerLink};
+use serde::{Deserialize, Serialize};
+use serde_json::Value as Json;
+
+/// The mock job: shard `k` must produce `n` values `k*100 + i`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct MockJob {
+    k: u64,
+    n: u64,
+}
+
+fn inputs(shards: u64, runs: u64) -> Vec<ShardInput> {
+    (0..shards)
+        .map(|k| ShardInput {
+            job: serde::to_value(&MockJob { k, n: runs }),
+            expect: runs as usize,
+        })
+        .collect()
+}
+
+fn expected_values(k: u64, n: u64) -> Vec<Option<f64>> {
+    (0..n).map(|i| Some((k * 100 + i) as f64)).collect()
+}
+
+fn exec(job: &Json) -> Result<Vec<Option<f64>>, String> {
+    let job: MockJob = serde::from_value(job.clone()).map_err(|e| e.to_string())?;
+    Ok(expected_values(job.k, job.n))
+}
+
+fn valid_reply(spec: &ShardSpec) -> String {
+    let job: MockJob = serde::from_value(spec.job.clone()).expect("mock job");
+    serde_json::to_string(&result_reply(spec.id, &expected_values(job.k, job.n)))
+        .expect("render reply")
+}
+
+fn corrupt_checksum_reply(spec: &ShardSpec) -> String {
+    let WorkerReply::Result(mut r) = serde_json::from_str(&valid_reply(spec)).unwrap() else {
+        unreachable!("valid_reply builds a Result");
+    };
+    r.checksum ^= 0xBAD_C0DE;
+    serde_json::to_string(&WorkerReply::Result(r)).unwrap()
+}
+
+/// What a scripted worker does upon receiving one shard spec.
+enum Action {
+    /// Emit this raw stdout line.
+    Reply(String),
+    /// Die: emit `Gone` and fail all further sends.
+    Die,
+    /// Say nothing (the hang shape — the deadline must catch it).
+    Silent,
+}
+
+type Script = dyn Fn(usize, &ShardSpec) -> Vec<Action> + Send + Sync;
+
+struct MockFactory {
+    script: Arc<Script>,
+    /// Slots whose spawn fails outright.
+    fail_slots: Vec<usize>,
+}
+
+impl MockFactory {
+    fn new(script: impl Fn(usize, &ShardSpec) -> Vec<Action> + Send + Sync + 'static) -> Self {
+        Self {
+            script: Arc::new(script),
+            fail_slots: Vec::new(),
+        }
+    }
+}
+
+struct MockLink {
+    slot: usize,
+    worker: u64,
+    events: Sender<WorkerEvent>,
+    script: Arc<Script>,
+    dead: bool,
+}
+
+impl WorkerLink for MockLink {
+    fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        if self.dead {
+            return Err(std::io::Error::other("mock worker is dead"));
+        }
+        let spec: ShardSpec = serde_json::from_str(line)
+            .map_err(|e| std::io::Error::other(format!("bad spec: {e}")))?;
+        for action in (self.script)(self.slot, &spec) {
+            match action {
+                Action::Reply(reply) => {
+                    let _ = self.events.send(WorkerEvent::Line {
+                        worker: self.worker,
+                        line: reply,
+                    });
+                }
+                Action::Die => {
+                    self.dead = true;
+                    let _ = self.events.send(WorkerEvent::Gone {
+                        worker: self.worker,
+                    });
+                }
+                Action::Silent => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn kill(&mut self) {
+        if !self.dead {
+            self.dead = true;
+            let _ = self.events.send(WorkerEvent::Gone {
+                worker: self.worker,
+            });
+        }
+    }
+}
+
+impl WorkerFactory for MockFactory {
+    fn spawn(
+        &self,
+        slot: usize,
+        worker: u64,
+        events: Sender<WorkerEvent>,
+    ) -> std::io::Result<Box<dyn WorkerLink>> {
+        if self.fail_slots.contains(&slot) {
+            return Err(std::io::Error::other("mock spawn failure"));
+        }
+        Ok(Box::new(MockLink {
+            slot,
+            worker,
+            events,
+            script: Arc::clone(&self.script),
+            dead: false,
+        }))
+    }
+}
+
+/// Fast-retry options so failure tests finish in milliseconds.
+fn opts(workers: usize) -> SweepOptions {
+    SweepOptions {
+        workers,
+        shard_timeout: Duration::from_secs(5),
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(10),
+        ..SweepOptions::default()
+    }
+}
+
+fn assert_all_values(values: &[Vec<Option<f64>>], shards: u64, runs: u64) {
+    assert_eq!(values.len(), shards as usize);
+    for (k, vals) in values.iter().enumerate() {
+        assert_eq!(vals, &expected_values(k as u64, runs), "shard {k}");
+    }
+}
+
+#[test]
+fn healthy_fleet_completes() {
+    let factory = MockFactory::new(|_, spec| vec![Action::Reply(valid_reply(spec))]);
+    let out = run_sweep(inputs(8, 3), &opts(3), &factory, exec).unwrap();
+    assert_all_values(&out.values, 8, 3);
+    assert_eq!(out.stats.workers_spawned, 3);
+    assert_eq!(out.stats.retries, 0);
+    assert_eq!(out.stats.inproc_shards, 0);
+}
+
+#[test]
+fn crashed_shard_retries_on_a_healthy_worker() {
+    // Whoever gets shard 2 first dies mid-shard; the retry succeeds.
+    let factory = MockFactory::new(|_, spec| {
+        if spec.id == 2 && spec.attempt == 0 {
+            vec![Action::Die]
+        } else {
+            vec![Action::Reply(valid_reply(spec))]
+        }
+    });
+    let out = run_sweep(inputs(6, 2), &opts(3), &factory, exec).unwrap();
+    assert_all_values(&out.values, 6, 2);
+    assert_eq!(out.stats.crashes, 1);
+    assert!(out.stats.retries >= 1);
+    assert_eq!(out.stats.inproc_shards, 0, "a worker retry sufficed");
+}
+
+#[test]
+fn hung_shard_times_out_quarantines_and_retries() {
+    let factory = MockFactory::new(|_, spec| {
+        if spec.id == 1 && spec.attempt == 0 {
+            vec![Action::Silent]
+        } else {
+            vec![Action::Reply(valid_reply(spec))]
+        }
+    });
+    let mut o = opts(3);
+    o.shard_timeout = Duration::from_millis(50);
+    let out = run_sweep(inputs(5, 2), &o, &factory, exec).unwrap();
+    assert_all_values(&out.values, 5, 2);
+    assert_eq!(out.stats.timeouts, 1);
+    assert_eq!(out.stats.quarantined, 1, "a wedged worker is not reused");
+}
+
+#[test]
+fn corrupt_reply_is_rejected_and_retried() {
+    let factory = MockFactory::new(|_, spec| {
+        if spec.id == 0 && spec.attempt == 0 {
+            vec![Action::Reply(corrupt_checksum_reply(spec))]
+        } else {
+            vec![Action::Reply(valid_reply(spec))]
+        }
+    });
+    let out = run_sweep(inputs(4, 2), &opts(2), &factory, exec).unwrap();
+    assert_all_values(&out.values, 4, 2);
+    assert_eq!(out.stats.corrupt, 1);
+    assert_eq!(out.stats.quarantined, 0, "one strike is forgiven");
+}
+
+#[test]
+fn wrong_length_reply_is_corrupt() {
+    let factory = MockFactory::new(|_, spec| {
+        if spec.id == 3 && spec.attempt == 0 {
+            // Truncated values under a *recomputed* checksum: length
+            // validation, not the checksum, must catch this one.
+            let truncated = result_reply(spec.id, &[Some(1.0)]);
+            vec![Action::Reply(serde_json::to_string(&truncated).unwrap())]
+        } else {
+            vec![Action::Reply(valid_reply(spec))]
+        }
+    });
+    let out = run_sweep(inputs(5, 3), &opts(2), &factory, exec).unwrap();
+    assert_all_values(&out.values, 5, 3);
+    assert_eq!(out.stats.corrupt, 1);
+}
+
+#[test]
+fn persistently_corrupt_worker_is_quarantined() {
+    // Slot 0 corrupts everything it touches; slot 1 is honest. The
+    // fabric must bench slot 0 after max_worker_strikes and still
+    // finish every shard correctly.
+    let factory = MockFactory::new(|slot, spec| {
+        if slot == 0 {
+            vec![Action::Reply(corrupt_checksum_reply(spec))]
+        } else {
+            vec![Action::Reply(valid_reply(spec))]
+        }
+    });
+    let out = run_sweep(inputs(8, 2), &opts(2), &factory, exec).unwrap();
+    assert_all_values(&out.values, 8, 2);
+    assert_eq!(out.stats.quarantined, 1);
+    assert!(out.stats.corrupt >= 2, "strikes accumulated to the limit");
+}
+
+#[test]
+fn spawn_failure_degrades_to_in_process() {
+    let mut factory = MockFactory::new(|_, spec| vec![Action::Reply(valid_reply(spec))]);
+    factory.fail_slots = (0..3).collect();
+    let out = run_sweep(inputs(6, 2), &opts(3), &factory, exec).unwrap();
+    assert_all_values(&out.values, 6, 2);
+    assert_eq!(out.stats.workers_spawned, 0);
+    assert_eq!(out.stats.spawn_failures, 3);
+    assert_eq!(out.stats.inproc_shards, 6, "every shard ran in-process");
+}
+
+#[test]
+fn fleet_collapse_drains_in_process() {
+    // The only worker dies on its first shard; everything else must
+    // complete through the in-process drain.
+    let factory = MockFactory::new(|_, _| vec![Action::Die]);
+    let out = run_sweep(inputs(5, 2), &opts(1), &factory, exec).unwrap();
+    assert_all_values(&out.values, 5, 2);
+    assert_eq!(out.stats.crashes, 1);
+    assert_eq!(out.stats.inproc_shards, 5);
+}
+
+#[test]
+fn duplicate_replies_fold_once() {
+    // A worker that answers every shard twice (the late-retry shape).
+    let factory = MockFactory::new(|_, spec| {
+        vec![
+            Action::Reply(valid_reply(spec)),
+            Action::Reply(valid_reply(spec)),
+        ]
+    });
+    let out = run_sweep(inputs(7, 2), &opts(2), &factory, exec).unwrap();
+    assert_all_values(&out.values, 7, 2);
+    assert_eq!(out.stats.corrupt, 0, "duplicates are not corruption");
+}
+
+#[test]
+fn refused_shards_fall_back_to_in_process() {
+    // Every worker refuses shard 2 (as if its job were malformed from
+    // where they stand); the in-process executor settles it.
+    let factory = MockFactory::new(|_, spec| {
+        if spec.id == 2 {
+            let refusal = WorkerReply::Error(ShardError {
+                id: spec.id,
+                error: "not on my watch".into(),
+            });
+            vec![Action::Reply(serde_json::to_string(&refusal).unwrap())]
+        } else {
+            vec![Action::Reply(valid_reply(spec))]
+        }
+    });
+    let out = run_sweep(inputs(5, 2), &opts(2), &factory, exec).unwrap();
+    assert_all_values(&out.values, 5, 2);
+    assert_eq!(out.stats.refused, 4, "one refusal per worker attempt");
+    assert_eq!(out.stats.inproc_shards, 1);
+}
+
+#[test]
+fn garbage_line_is_a_strike_not_a_crash() {
+    let factory = MockFactory::new(|_, spec| {
+        if spec.id == 1 && spec.attempt == 0 {
+            vec![Action::Reply("{not json at all".into())]
+        } else {
+            vec![Action::Reply(valid_reply(spec))]
+        }
+    });
+    let out = run_sweep(inputs(4, 2), &opts(2), &factory, exec).unwrap();
+    assert_all_values(&out.values, 4, 2);
+    assert_eq!(out.stats.corrupt, 1);
+}
+
+#[test]
+fn empty_manifest_is_a_noop() {
+    let factory = MockFactory::new(|_, spec| vec![Action::Reply(valid_reply(spec))]);
+    let out = run_sweep(Vec::new(), &opts(2), &factory, exec).unwrap();
+    assert!(out.values.is_empty());
+    assert_eq!(out.stats.workers_spawned, 0);
+}

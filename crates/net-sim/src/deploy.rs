@@ -208,6 +208,27 @@ impl DeploymentCache {
         }
     }
 
+    /// Locks the entry map, recovering from poison.
+    ///
+    /// A panic inside a cache-holding section (a panicking metric
+    /// closure in a fan-out job, a `should_panic` test sharing the
+    /// process-wide registry) poisons the mutex; propagating that
+    /// poison would permanently brick [`DeploymentCache::global`] for
+    /// every later run in the process. Recovery is sound here because
+    /// every entry is a pure function of its key: whatever state the
+    /// interrupted writer left behind, dropping it and redrawing on
+    /// demand reproduces bitwise-identical deployments. We clear the
+    /// map rather than audit it — the cost is a few redraws, never a
+    /// changed value.
+    fn lock_map(&self) -> std::sync::MutexGuard<'_, CacheMap> {
+        self.map.lock().unwrap_or_else(|poisoned| {
+            self.map.clear_poison();
+            let mut map = poisoned.into_inner();
+            map.entries.clear();
+            map
+        })
+    }
+
     /// The process-wide deployment registry.
     ///
     /// Sweeps and figures that key their deployments the same way —
@@ -236,7 +257,7 @@ impl DeploymentCache {
     /// Hit/miss/eviction counters are preserved — they count lookups and
     /// evictions, not occupancy; a `clear` is not an eviction.
     pub fn clear(&self) {
-        self.map.lock().expect("cache poisoned").entries.clear();
+        self.lock_map().entries.clear();
     }
 
     /// Returns the deployment for `(cfg geometry, seed)`, drawing and
@@ -253,7 +274,7 @@ impl DeploymentCache {
     pub fn get_or_draw(&self, cfg: &NetConfig, seed: u64) -> Arc<CachedDeployment> {
         let key = DeployKey::new(cfg, seed);
         {
-            let mut map = self.map.lock().expect("cache poisoned");
+            let mut map = self.lock_map();
             map.tick += 1;
             let tick = map.tick;
             if let Some(entry) = map.entries.get_mut(&key) {
@@ -268,7 +289,7 @@ impl DeploymentCache {
         // is discarded below.
         let drawn = Arc::new(crate::NetSim::draw_deployment(cfg, seed));
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.map.lock().expect("cache poisoned");
+        let mut map = self.lock_map();
         map.tick += 1;
         let tick = map.tick;
         let value = Arc::clone(
@@ -344,7 +365,7 @@ impl DeploymentCache {
     /// Number of distinct deployments stored.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache poisoned").entries.len()
+        self.lock_map().entries.len()
     }
 
     /// Whether the cache holds no deployments.
@@ -446,5 +467,56 @@ mod tests {
         busier.duration_secs = 10.0;
         let c = cache.get_or_draw(&busier, 5);
         assert!(Arc::ptr_eq(&a, &c), "λ/k/duration do not redraw");
+    }
+
+    /// Panics while holding `cache`'s map lock, poisoning the mutex the
+    /// way a panicking cache-holding closure would. The panic is caught
+    /// — only the poison survives.
+    fn poison(cache: &DeploymentCache) {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = cache
+                .map
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            panic!("injected poison");
+        }));
+        assert!(result.is_err(), "the injected panic must fire");
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_with_identical_values() {
+        let cfg = NetConfig::table2();
+        let cache = DeploymentCache::new();
+        let before = cache.get_or_draw(&cfg, 11);
+        poison(&cache);
+        // Every entry point used to abort here with "cache poisoned";
+        // now they recover (clearing the map — entries are pure
+        // functions of their keys, so nothing of value is lost).
+        assert_eq!(cache.len(), 0, "recovery clears the map");
+        let after = cache.get_or_draw(&cfg, 11);
+        assert_eq!(
+            *before, *after,
+            "redraw after recovery is bitwise identical"
+        );
+        poison(&cache);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn caught_panic_does_not_break_subsequent_global_runs() {
+        // The regression the sweep fabric depends on: a panicking job
+        // that dies while the process-wide registry's lock is held must
+        // not brick later `run_on` calls in the same process.
+        let mut cfg = NetConfig::table2();
+        cfg.duration_secs = 30.0;
+        let expected = {
+            let deployment = DeploymentCache::global().get_or_draw(&cfg, 23);
+            NetSim::new(cfg, crate::NetMode::AlwaysOn).run_on(23, &deployment)
+        };
+        poison(DeploymentCache::global());
+        let deployment = DeploymentCache::global().get_or_draw(&cfg, 23);
+        let after = NetSim::new(cfg, crate::NetMode::AlwaysOn).run_on(23, &deployment);
+        assert_eq!(expected, after, "post-poison run_on is unaffected");
     }
 }

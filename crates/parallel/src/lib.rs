@@ -19,6 +19,26 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Prefixes a panic payload with job context (`"{context}: {message}"`)
+/// when the payload is a string — the `panic!`/`assert!` case — so a
+/// re-raised panic names the job that died. String payloads keep their
+/// original text as a suffix, which preserves substring-based
+/// `should_panic` matching; non-string payloads (`panic_any`) pass
+/// through untouched, since rewriting them would break callers that
+/// downcast to the original type.
+fn annotate_panic(
+    payload: Box<dyn std::any::Any + Send>,
+    context: &str,
+) -> Box<dyn std::any::Any + Send> {
+    if let Some(msg) = payload.downcast_ref::<&'static str>() {
+        return Box::new(format!("{context}: {msg}"));
+    }
+    match payload.downcast::<String>() {
+        Ok(msg) => Box::new(format!("{context}: {msg}")),
+        Err(other) => other,
+    }
+}
+
 /// The worker-thread budget: `PBBF_THREADS` if set and valid, else the
 /// machine's available parallelism.
 #[must_use]
@@ -40,9 +60,12 @@ pub fn max_threads() -> usize {
 ///
 /// # Panics
 ///
-/// Re-raises the first panic raised inside `f` (its original payload, so
-/// `should_panic`-style message matching behaves the same as the
-/// sequential path).
+/// Re-raises the first panic raised inside `f`, with the failing job's
+/// index prefixed onto string payloads (`"parallel job {i} of {n}:
+/// ..."`). The original message survives as a suffix, so
+/// `should_panic`-style substring matching keeps working, and the
+/// sequential path annotates identically — payloads are
+/// thread-count-invariant like everything else here.
 pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -52,7 +75,19 @@ where
     let n = items.len();
     let threads = max_threads().min(n);
     if threads <= 1 {
-        return items.into_iter().map(f).collect();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))) {
+                    Ok(result) => result,
+                    Err(payload) => std::panic::resume_unwind(annotate_panic(
+                        payload,
+                        &format!("parallel job {i} of {n}"),
+                    )),
+                }
+            })
+            .collect();
     }
 
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
@@ -80,6 +115,7 @@ where
                         *results[i].lock().expect("result slot poisoned") = Some(result);
                     }
                     Err(payload) => {
+                        let payload = annotate_panic(payload, &format!("parallel job {i} of {n}"));
                         let mut first = panic_payload.lock().expect("panic slot poisoned");
                         first.get_or_insert(payload);
                         break;
@@ -155,7 +191,8 @@ where
 ///
 /// Panics if `chunk` is zero, or if `f` returns a vector whose length
 /// is not the chunk's run count. Re-raises panics from `f` like
-/// [`par_map`].
+/// [`par_map`], additionally prefixing the failing chunk's coordinates
+/// (`"group {g} runs {r0}..{r1}"`) onto string payloads.
 pub fn par_run_grouped_chunked<R, F>(groups: usize, runs: usize, chunk: usize, f: F) -> Vec<Vec<R>>
 where
     R: Send,
@@ -172,7 +209,11 @@ where
     let chunks_per_group = jobs.len() / groups.max(1);
     let mut flat = par_map(jobs, |(g, rs)| {
         let want = rs.len();
-        let out = f(g, rs);
+        let context = format!("group {g} runs {}..{}", rs.start, rs.end);
+        let out = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(g, rs))) {
+            Ok(out) => out,
+            Err(payload) => std::panic::resume_unwind(annotate_panic(payload, &context)),
+        };
         assert_eq!(out.len(), want, "chunk job must return one result per run");
         out
     })
@@ -259,5 +300,67 @@ mod tests {
             assert!(i != 5, "worker boom");
             i
         });
+    }
+
+    fn panic_message(caught: Box<dyn std::any::Any + Send>) -> String {
+        match caught.downcast::<String>() {
+            Ok(msg) => *msg,
+            Err(other) => panic!("expected a String payload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panic_context_names_the_failing_job() {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_run(8, |i| {
+                assert!(i != 5, "worker boom");
+                i
+            })
+        }))
+        .unwrap_err();
+        let msg = panic_message(caught);
+        assert!(msg.contains("parallel job 5 of 8"), "{msg}");
+        assert!(msg.contains("worker boom"), "{msg}");
+    }
+
+    #[test]
+    fn sequential_path_annotates_identically() {
+        // A single item forces the sequential path; the payload shape
+        // must match what the threaded path produces.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map(vec![0u32], |_| -> u32 { panic!("solo boom") })
+        }))
+        .unwrap_err();
+        let msg = panic_message(caught);
+        assert!(msg.contains("parallel job 0 of 1"), "{msg}");
+        assert!(msg.contains("solo boom"), "{msg}");
+    }
+
+    #[test]
+    fn chunked_panic_context_names_group_and_runs() {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_run_grouped_chunked(2, 8, 4, |g, rs| {
+                assert!(!(g == 1 && rs.start == 4), "chunk boom");
+                rs.map(|r| 10 * g + r).collect()
+            })
+        }))
+        .unwrap_err();
+        let msg = panic_message(caught);
+        assert!(msg.contains("group 1 runs 4..8"), "{msg}");
+        assert!(msg.contains("chunk boom"), "{msg}");
+    }
+
+    #[test]
+    fn non_string_payloads_pass_through_unchanged() {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_run(4, |i| {
+                if i == 2 {
+                    std::panic::panic_any(42u32);
+                }
+                i
+            })
+        }))
+        .unwrap_err();
+        assert_eq!(caught.downcast_ref::<u32>(), Some(&42));
     }
 }

@@ -6,15 +6,24 @@
 //! pbbf ideal     --grid 25 --p 0.5 --q 0.5      run the Section-4 simulator
 //! pbbf net       --p 0.25 --q 0.25 --delta 10   run the Section-5 simulator
 //! pbbf reproduce [--paper] [fig13 ...]          regenerate paper exhibits
+//! pbbf sweep     --workers 4 [fig13 ...]        multi-process figure sweep
+//! pbbf worker                                   (internal) sweep shard executor
 //! ```
 //!
-//! Argument parsing is deliberately dependency-free (the offline crate
-//! budget is spent on simulation, not flag handling).
+//! `sweep` shards a figure's Monte Carlo runs across `worker` child
+//! processes through the fault-tolerant fabric (`pbbf-fabric`); its
+//! stdout is byte-identical to `reproduce` of the same figure, which CI
+//! enforces under injected worker faults. Argument parsing is
+//! deliberately dependency-free (the offline crate budget is spent on
+//! simulation, not flag handling).
 
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use pbbf::prelude::*;
+use pbbf_experiments::sweep::{assemble_sweep, run_sweep_shard, sweep_manifest, ShardJob};
+use pbbf_fabric::{ProcessWorkerFactory, ShardInput, SweepOptions};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,6 +37,8 @@ fn main() -> ExitCode {
         "ideal" => cmd_ideal(rest),
         "net" => cmd_net(rest),
         "reproduce" => cmd_reproduce(rest),
+        "sweep" => cmd_sweep(rest),
+        "worker" => cmd_worker(rest),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -54,6 +65,8 @@ fn print_help() {
          \x20 ideal      --grid <n> --p <f> --q <f> [--updates <n>] [--seed <n>]\n\
          \x20 net        --p <f> --q <f> [--delta <f>] [--duration <s>] [--seed <n>]\n\
          \x20 reproduce  [--paper] [--plot] [--seed <n>] [table1 fig04 ... fig18]\n\
+         \x20 sweep      [--paper] [--seed <n>] [--workers <n>] [--shard-timeout <s>] [fig13 ... fig18]\n\
+         \x20 worker     (internal) executes sweep shards from stdin\n\
          \x20 help"
     );
 }
@@ -258,6 +271,72 @@ fn cmd_reproduce(args: &[String]) -> Result<(), String> {
     }
     if !any {
         return Err(format!("no exhibit matched {positional:?}"));
+    }
+    Ok(())
+}
+
+/// Executes one sweep shard: decode the opaque fabric job back into a
+/// [`ShardJob`] and run it. Shared verbatim by the worker loop and the
+/// supervisor's in-process fallback, so both paths compute identical
+/// bits by construction.
+fn exec_shard(job: &serde_json::Value) -> Result<Vec<Option<f64>>, String> {
+    let shard: ShardJob = serde::from_value(job.clone()).map_err(|e| e.to_string())?;
+    run_sweep_shard(&shard)
+}
+
+fn cmd_worker(args: &[String]) -> Result<(), String> {
+    let (_, positional) = parse(args)?;
+    if !positional.is_empty() {
+        return Err(format!("worker takes no arguments, got {positional:?}"));
+    }
+    let code = pbbf_fabric::worker_loop(exec_shard);
+    if code == 0 {
+        Ok(())
+    } else {
+        std::process::exit(code)
+    }
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let (flags, positional) = parse(args)?;
+    let effort = if flags.contains_key("paper") {
+        Effort::paper()
+    } else {
+        Effort::quick()
+    };
+    let seed = get_u64(&flags, "seed", 2005)?;
+    let sweepable = pbbf_experiments::sweep::sweepable_figures();
+    let figures: Vec<String> = if positional.is_empty() {
+        sweepable.iter().map(ToString::to_string).collect()
+    } else {
+        positional
+    };
+    let opts = SweepOptions {
+        workers: get_u64(&flags, "workers", pbbf_parallel::max_threads() as u64)? as usize,
+        shard_timeout: Duration::from_secs_f64(get_f64(&flags, "shard-timeout", Some(120.0))?),
+        ..SweepOptions::default()
+    };
+    let factory = ProcessWorkerFactory::current_exe(["worker"]).map_err(|e| e.to_string())?;
+    for fig in &figures {
+        let manifest = sweep_manifest(fig, &effort, seed).ok_or_else(|| {
+            format!("`{fig}` is not a shardable figure (choose from {sweepable:?})")
+        })?;
+        let shards = manifest
+            .shards
+            .iter()
+            .map(|j| ShardInput {
+                job: serde::to_value(j),
+                expect: (j.run1 - j.run0) as usize,
+            })
+            .collect();
+        let outcome = pbbf_fabric::run_sweep(shards, &opts, &factory, exec_shard)?;
+        eprintln!("pbbf sweep: {fig}: {}", outcome.stats);
+        // Byte-identical to `reproduce`'s figure path: same renderer,
+        // same println.
+        println!(
+            "{}",
+            assemble_sweep(&manifest, outcome.values).render_text()
+        );
     }
     Ok(())
 }

@@ -41,6 +41,7 @@
 //! | [`ideal_sim`] | `pbbf-ideal-sim` | Section-4 simulator |
 //! | [`net_sim`] | `pbbf-net-sim` | Section-5 ns-2-style simulator |
 //! | [`experiments`] | `pbbf-experiments` | every table & figure |
+//! | [`fabric`] | `pbbf-fabric` | multi-process sweep supervisor/workers |
 //! | [`topology`], [`radio`], [`mac`], [`des`], [`metrics`] | — | substrates |
 
 #![forbid(unsafe_code)]
@@ -49,6 +50,7 @@
 pub use pbbf_core as core;
 pub use pbbf_des as des;
 pub use pbbf_experiments as experiments;
+pub use pbbf_fabric as fabric;
 pub use pbbf_ideal_sim as ideal_sim;
 pub use pbbf_mac as mac;
 pub use pbbf_metrics as metrics;

@@ -1,0 +1,124 @@
+//! End-to-end tests of the distributed sweep fabric against the real
+//! `pbbf` binary: a multi-process `pbbf sweep` must emit bytes
+//! identical to single-process `pbbf reproduce` — including while
+//! shards are being crashed, hung, and corrupted underneath it.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+use pbbf::prelude::Effort;
+use pbbf_experiments::sweep::sweep_manifest;
+use pbbf_fabric::protocol::{checksum, ShardSpec, WorkerReply};
+
+const FIGURE: &str = "fig17";
+const SEED: &str = "11";
+
+fn pbbf() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pbbf"))
+}
+
+/// Runs the binary, asserts success, returns raw stdout bytes.
+fn run(args: &[&str], envs: &[(&str, &str)]) -> Vec<u8> {
+    let mut cmd = pbbf();
+    cmd.args(args).env_remove("PBBF_FAULT");
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("spawn pbbf");
+    assert!(
+        out.status.success(),
+        "pbbf {args:?} failed ({:?}):\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+fn reproduce_bytes() -> Vec<u8> {
+    run(&["reproduce", FIGURE, "--seed", SEED], &[])
+}
+
+#[test]
+fn multi_process_sweep_is_bitwise_identical_to_reproduce() {
+    let clean = reproduce_bytes();
+    let swept = run(&["sweep", FIGURE, "--seed", SEED, "--workers", "3"], &[]);
+    assert_eq!(swept, clean, "sweep bytes diverged from reproduce");
+}
+
+#[test]
+fn sweep_survives_injected_faults_bitwise() {
+    let clean = reproduce_bytes();
+    // Crash one shard, wedge another, corrupt a third — each fires on
+    // the shard's first attempt; retries on healthy workers finish the
+    // job. A short shard timeout keeps the hung worker from stalling
+    // the test.
+    let swept = run(
+        &[
+            "sweep",
+            FIGURE,
+            "--seed",
+            SEED,
+            "--workers",
+            "3",
+            "--shard-timeout",
+            "5",
+        ],
+        &[("PBBF_FAULT", "crash:1,hang:4,corrupt:7")],
+    );
+    assert_eq!(swept, clean, "faulted sweep bytes diverged from reproduce");
+}
+
+#[test]
+fn persistent_crash_falls_back_to_in_process_bitwise() {
+    let clean = reproduce_bytes();
+    // `crash:0+` kills every worker attempt at shard 0; only the
+    // supervisor's in-process fallback (which ignores PBBF_FAULT) can
+    // settle it — and its bits must still match.
+    let swept = run(
+        &["sweep", FIGURE, "--seed", SEED, "--workers", "2"],
+        &[("PBBF_FAULT", "crash:0+")],
+    );
+    assert_eq!(swept, clean, "fallback sweep bytes diverged from reproduce");
+}
+
+#[test]
+fn worker_speaks_the_shard_protocol() {
+    let effort = Effort::quick();
+    let manifest = sweep_manifest(FIGURE, &effort, 11).expect("fig17 is sweepable");
+    let job = &manifest.shards[0];
+    let spec = ShardSpec {
+        id: 0,
+        attempt: 0,
+        expect: job.run1 - job.run0,
+        job: serde::to_value(job),
+    };
+
+    let mut child = pbbf()
+        .arg("worker")
+        .env_remove("PBBF_FAULT")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn worker");
+    {
+        let stdin = child.stdin.as_mut().expect("worker stdin");
+        writeln!(stdin, "{}", serde_json::to_string(&spec).unwrap()).expect("send spec");
+    }
+    // Dropping stdin closes the pipe; the worker exits 0 at EOF.
+    let out = child.wait_with_output().expect("worker output");
+    assert!(out.status.success(), "worker exited nonzero");
+
+    let line = String::from_utf8(out.stdout).expect("utf8 reply");
+    let reply: WorkerReply =
+        serde_json::from_str(line.trim()).expect("reply parses as WorkerReply");
+    let WorkerReply::Result(result) = reply else {
+        panic!("worker refused a well-formed shard");
+    };
+    assert_eq!(result.id, 0);
+    assert_eq!(result.values.len(), (job.run1 - job.run0) as usize);
+    assert_eq!(
+        result.checksum,
+        checksum(result.id, &result.values),
+        "reply checksum must validate"
+    );
+}
