@@ -9,7 +9,10 @@
 //! shard's *first* delivery only — the retry then succeeds — unless the
 //! shard number carries a `+` suffix (`crash:0+`), which makes the
 //! fault fire on every attempt and drives the supervisor down its
-//! attempt-exhaustion → in-process fallback path.
+//! attempt-exhaustion → in-process fallback path. The shard position
+//! also accepts `*` (`hang:*`): the fault fires on whatever shard the
+//! worker happens to receive first — the shape cross-host CI needs,
+//! where shard→host assignment is a scheduling detail.
 //!
 //! Only [`worker_loop`](crate::worker::worker_loop) consults the plan;
 //! the supervisor never does, so a sweep's *recovery* is what gets
@@ -27,10 +30,28 @@ pub enum FaultKind {
     Corrupt,
 }
 
+/// Which shards a fault entry applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShardSel {
+    /// One specific manifest position.
+    Id(u32),
+    /// Any shard (`*`) — whatever this worker is handed.
+    Any,
+}
+
+impl ShardSel {
+    fn matches(self, shard: u32) -> bool {
+        match self {
+            ShardSel::Id(id) => id == shard,
+            ShardSel::Any => true,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Fault {
     kind: FaultKind,
-    shard: u32,
+    shard: ShardSel,
     every_attempt: bool,
 }
 
@@ -67,7 +88,11 @@ impl FaultPlan {
                 Some(s) => (s, true),
                 None => (shard, false),
             };
-            if let Ok(shard) = shard.parse() {
+            let shard = match shard {
+                "*" => Some(ShardSel::Any),
+                s => s.parse().ok().map(ShardSel::Id),
+            };
+            if let Some(shard) = shard {
                 faults.push(Fault {
                     kind,
                     shard,
@@ -83,7 +108,7 @@ impl FaultPlan {
     pub fn fault_for(&self, shard: u32, attempt: u32) -> Option<FaultKind> {
         self.faults
             .iter()
-            .find(|f| f.shard == shard && (f.every_attempt || attempt == 0))
+            .find(|f| f.shard.matches(shard) && (f.every_attempt || attempt == 0))
             .map(|f| f.kind)
     }
 
@@ -109,6 +134,16 @@ mod tests {
         // One-shot faults clear on retry; persistent ones don't.
         assert_eq!(plan.fault_for(1, 1), None);
         assert_eq!(plan.fault_for(0, 3), Some(FaultKind::Crash));
+    }
+
+    #[test]
+    fn wildcard_matches_any_shard() {
+        let plan = FaultPlan::parse("hang:*");
+        assert_eq!(plan.fault_for(0, 0), Some(FaultKind::Hang));
+        assert_eq!(plan.fault_for(999, 0), Some(FaultKind::Hang));
+        assert_eq!(plan.fault_for(999, 1), None, "first delivery only");
+        let persistent = FaultPlan::parse("crash:*+");
+        assert_eq!(persistent.fault_for(3, 7), Some(FaultKind::Crash));
     }
 
     #[test]

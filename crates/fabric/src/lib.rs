@@ -19,6 +19,13 @@
 //! actual figure sweeps (job encoding/execution) lives in
 //! `pbbf-experiments::sweep`; the `pbbf` binary wires the two together.
 //!
+//! The [`tcp`] module carries the same line protocol over sockets so
+//! remote hosts join the fleet (`pbbf worker --listen` / `pbbf sweep
+//! --hosts`), adding heartbeat-based host liveness, bounded-backoff
+//! reconnection, and quarantine of unreachable hosts on top of the
+//! per-shard machinery. The wire format is specified in
+//! `docs/PROTOCOL.md`; `docs/OPERATIONS.md` is the ops guide.
+//!
 //! [`fault::FaultPlan`] implements the `PBBF_FAULT` injection hooks the
 //! CI fault-injection job drives; only worker processes honor them.
 
@@ -29,12 +36,14 @@ pub mod fault;
 pub mod merge;
 pub mod protocol;
 pub mod supervisor;
+pub mod tcp;
 pub mod worker;
 
 pub use merge::ShardMerger;
-pub use protocol::{ShardResult, ShardSpec, WorkerReply};
+pub use protocol::{CacheTelemetry, ShardResult, ShardSpec, WorkerReply};
 pub use supervisor::{
     run_sweep, ProcessWorkerFactory, ShardInput, SweepOptions, SweepOutcome, SweepStats,
     WorkerEvent, WorkerFactory, WorkerLink,
 };
-pub use worker::worker_loop;
+pub use tcp::{serve_listener, HybridWorkerFactory, ServeOptions, TcpOptions, TcpWorkerFactory};
+pub use worker::{worker_loop, worker_loop_with};

@@ -48,6 +48,35 @@ pub struct ShardResult {
     pub checksum: u64,
 }
 
+/// Deployment-cache counters a worker reports in heartbeat telemetry:
+/// how many `(seed, geometry)` scenario lookups its process-wide
+/// registry answered from memory versus drew fresh. Pure observability
+/// — the supervisor folds these into
+/// [`SweepStats`](crate::supervisor::SweepStats); they can never touch
+/// the output values.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheTelemetry {
+    /// Scenario lookups answered from the cache.
+    pub hits: u64,
+    /// Scenario lookups that drew a fresh deployment.
+    pub misses: u64,
+    /// Entries evicted to honor the cache's capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheTelemetry {
+    /// Counter-wise saturating difference — used to report per-session
+    /// deltas from a process-lifetime counter baseline.
+    #[must_use]
+    pub fn saturating_sub(self, baseline: Self) -> Self {
+        Self {
+            hits: self.hits.saturating_sub(baseline.hits),
+            misses: self.misses.saturating_sub(baseline.misses),
+            evictions: self.evictions.saturating_sub(baseline.evictions),
+        }
+    }
+}
+
 /// A shard the worker refused (malformed job) — reported, not fatal.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ShardError {
@@ -57,13 +86,19 @@ pub struct ShardError {
     pub error: String,
 }
 
-/// One stdout line from a worker.
+/// One output line from a worker (stdout pipe or TCP socket).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum WorkerReply {
     /// The shard executed; here are its bits.
     Result(ShardResult),
     /// The worker refused the shard.
     Error(ShardError),
+    /// A liveness beat carrying deployment-cache telemetry. Remote
+    /// (socket) workers emit these on a timer so the supervisor can
+    /// tell a slow shard from a vanished host; every worker emits one
+    /// after each reply so telemetry is at least as fresh as the last
+    /// completed shard.
+    Heartbeat(CacheTelemetry),
 }
 
 /// FNV-1a 64 over a shard id and its value bits. Cheap, dependency-free
@@ -136,6 +171,34 @@ mod tests {
         let reply = result_reply(7, &[Some(0.5), None, Some(-0.0)]);
         let line = serde_json::to_string(&reply).unwrap();
         assert_eq!(serde_json::from_str::<WorkerReply>(&line).unwrap(), reply);
+    }
+
+    #[test]
+    fn heartbeats_round_trip() {
+        let beat = WorkerReply::Heartbeat(CacheTelemetry {
+            hits: 41,
+            misses: 7,
+            evictions: 1,
+        });
+        let line = serde_json::to_string(&beat).unwrap();
+        assert!(line.contains("Heartbeat"), "externally tagged: {line}");
+        assert_eq!(serde_json::from_str::<WorkerReply>(&line).unwrap(), beat);
+    }
+
+    #[test]
+    fn telemetry_deltas_saturate() {
+        let now = CacheTelemetry {
+            hits: 10,
+            misses: 4,
+            evictions: 0,
+        };
+        let base = CacheTelemetry {
+            hits: 3,
+            misses: 9, // counter reset shape: baseline ahead of now
+            evictions: 0,
+        };
+        let d = now.saturating_sub(base);
+        assert_eq!((d.hits, d.misses, d.evictions), (7, 0, 0));
     }
 
     #[test]

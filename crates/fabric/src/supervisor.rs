@@ -26,20 +26,28 @@ use std::time::{Duration, Instant};
 use serde_json::Value as Json;
 
 use crate::merge::ShardMerger;
-use crate::protocol::{checksum, decode_values, ShardSpec, WorkerReply};
+use crate::protocol::{checksum, decode_values, CacheTelemetry, ShardSpec, WorkerReply};
 
 /// What a worker's reader pump delivers to the supervisor.
 #[derive(Debug)]
 pub enum WorkerEvent {
-    /// One stdout line from the worker.
+    /// One output line from the worker.
     Line {
         /// The worker's id.
         worker: u64,
         /// The raw line (unparsed; the supervisor validates it).
         line: String,
     },
-    /// The worker's stdout closed — it exited or was killed.
+    /// The worker's output channel closed for good — it exited, was
+    /// killed, or its transport gave up reconnecting.
     Gone {
+        /// The worker's id.
+        worker: u64,
+    },
+    /// The worker's transport dropped and came back (a socket
+    /// reconnect). The worker is alive, but anything that was in
+    /// flight on it is lost and must be requeued.
+    Reset {
         /// The worker's id.
         worker: u64,
     },
@@ -57,6 +65,16 @@ pub trait WorkerLink {
 
     /// Forcibly terminates the worker. Idempotent.
     fn kill(&mut self);
+
+    /// Whether this link crosses a host boundary. Remote links opt
+    /// into host-level liveness: their workers heartbeat on a timer,
+    /// and silence beyond
+    /// [`SweepOptions::liveness_timeout`] is treated as a vanished
+    /// host. Local links (pipes) report death through
+    /// [`WorkerEvent::Gone`] instead, so they default to `false`.
+    fn remote(&self) -> bool {
+        false
+    }
 }
 
 /// Spawns workers. Abstracted so the retry/quarantine machinery is
@@ -193,6 +211,12 @@ pub struct SweepOptions {
     pub max_shard_attempts: u32,
     /// Corrupt replies tolerated per worker before quarantine.
     pub max_worker_strikes: u32,
+    /// Host-level liveness window for remote workers
+    /// ([`WorkerLink::remote`]): a remote worker that produces no
+    /// output line (heartbeat or otherwise) for this long is treated
+    /// as a vanished host — written off and its shard requeued. Must
+    /// comfortably exceed the workers' heartbeat interval.
+    pub liveness_timeout: Duration,
 }
 
 impl Default for SweepOptions {
@@ -204,6 +228,7 @@ impl Default for SweepOptions {
             backoff_cap: Duration::from_secs(2),
             max_shard_attempts: 4,
             max_worker_strikes: 2,
+            liveness_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -230,6 +255,16 @@ pub struct SweepStats {
     pub quarantined: u64,
     /// Shards executed in-process (attempt exhaustion or no fleet).
     pub inproc_shards: u64,
+    /// Remote hosts written off for heartbeat silence.
+    pub hosts_lost: u64,
+    /// Transport reconnects ([`WorkerEvent::Reset`]) survived.
+    pub reconnects: u64,
+    /// Deployment-cache hits summed over worker heartbeat telemetry.
+    pub cache_hits: u64,
+    /// Deployment-cache misses summed over worker heartbeat telemetry.
+    pub cache_misses: u64,
+    /// Deployment-cache evictions summed over worker telemetry.
+    pub cache_evictions: u64,
 }
 
 impl std::fmt::Display for SweepStats {
@@ -237,7 +272,8 @@ impl std::fmt::Display for SweepStats {
         write!(
             f,
             "workers {} (+{} spawn failures), retries {}, crashes {}, \
-             timeouts {}, corrupt {}, refused {}, quarantined {}, in-process shards {}",
+             timeouts {}, corrupt {}, refused {}, quarantined {}, in-process shards {}, \
+             hosts lost {}, reconnects {}, deploy cache {}/{} hit/miss (+{} evicted)",
             self.workers_spawned,
             self.spawn_failures,
             self.retries,
@@ -246,7 +282,12 @@ impl std::fmt::Display for SweepStats {
             self.corrupt,
             self.refused,
             self.quarantined,
-            self.inproc_shards
+            self.inproc_shards,
+            self.hosts_lost,
+            self.reconnects,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions
         )
     }
 }
@@ -280,6 +321,12 @@ struct Worker {
     strikes: u32,
     current: Option<usize>,
     healthy: bool,
+    /// Cached [`WorkerLink::remote`]: subject to host liveness.
+    remote: bool,
+    /// When this worker last produced any output line.
+    last_heard: Instant,
+    /// Latest deployment-cache telemetry the worker heartbeat.
+    telemetry: CacheTelemetry,
 }
 
 struct Supervisor<'a, E> {
@@ -347,12 +394,16 @@ where
         match factory.spawn(slot, id, tx.clone()) {
             Ok(link) => {
                 sup.stats.workers_spawned += 1;
+                let remote = link.remote();
                 sup.workers.push(Worker {
                     id,
                     link,
                     strikes: 0,
                     current: None,
                     healthy: true,
+                    remote,
+                    last_heard: Instant::now(),
+                    telemetry: CacheTelemetry::default(),
                 });
             }
             Err(e) => {
@@ -382,15 +433,22 @@ where
             match rx.recv_timeout(self.next_wait(Instant::now())) {
                 Ok(WorkerEvent::Line { worker, line }) => self.on_line(worker, &line)?,
                 Ok(WorkerEvent::Gone { worker }) => self.on_gone(worker)?,
+                Ok(WorkerEvent::Reset { worker }) => self.on_reset(worker)?,
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => {
                     unreachable!("supervisor holds an event sender")
                 }
             }
             self.expire_deadlines(Instant::now())?;
+            self.expire_liveness(Instant::now())?;
         }
         for w in &mut self.workers {
             w.link.kill(); // EOF/kill the fleet before folding
+        }
+        for w in &self.workers {
+            self.stats.cache_hits += w.telemetry.hits;
+            self.stats.cache_misses += w.telemetry.misses;
+            self.stats.cache_evictions += w.telemetry.evictions;
         }
         Ok(SweepOutcome {
             values: self.merger.into_values(),
@@ -519,6 +577,7 @@ where
         let Some(widx) = self.workers.iter().position(|w| w.id == worker) else {
             return Ok(()); // unknown sender: drop
         };
+        self.workers[widx].last_heard = Instant::now();
         let reply: WorkerReply = match serde_json::from_str(line) {
             Ok(r) => r,
             Err(e) => {
@@ -565,7 +624,35 @@ where
                 }
                 Ok(())
             }
+            WorkerReply::Heartbeat(t) => {
+                // Pure liveness + telemetry; `last_heard` already moved.
+                self.workers[widx].telemetry = t;
+                Ok(())
+            }
         }
+    }
+
+    /// The worker's transport dropped and reconnected: whatever it was
+    /// running is lost on the far side, so requeue it — but the worker
+    /// itself stays in the fleet. This is the "yanked cable, plugged
+    /// back in" path; it must degrade no worse than a killed
+    /// subprocess and no scheduling detail of it may reach the output.
+    fn on_reset(&mut self, worker: u64) -> Result<(), String> {
+        let Some(widx) = self.workers.iter().position(|w| w.id == worker) else {
+            return Ok(());
+        };
+        if !self.workers[widx].healthy {
+            return Ok(()); // already written off; the link is dying
+        }
+        self.stats.reconnects += 1;
+        self.workers[widx].last_heard = Instant::now();
+        if let Some(sid) = self.workers[widx].current.take() {
+            if matches!(self.shards[sid].status, ShardStatus::Running { .. }) {
+                eprintln!("pbbf sweep: worker {worker} transport reset; requeueing shard {sid}");
+                return self.fail_shard(sid);
+            }
+        }
+        Ok(())
     }
 
     fn on_gone(&mut self, worker: u64) -> Result<(), String> {
@@ -612,6 +699,33 @@ where
         }
     }
 
+    /// Writes off remote workers that have been silent past the
+    /// liveness window — the vanished-host detector. Remote workers
+    /// heartbeat on a timer even mid-shard, so silence here means the
+    /// host (or the network to it) is gone, not that a shard is slow;
+    /// per-shard deadlines separately cover the slow/wedged case.
+    fn expire_liveness(&mut self, now: Instant) -> Result<(), String> {
+        loop {
+            let Some(widx) = self.workers.iter().position(|w| {
+                w.healthy
+                    && w.remote
+                    && now.duration_since(w.last_heard) > self.opts.liveness_timeout
+            }) else {
+                return Ok(());
+            };
+            eprintln!(
+                "pbbf sweep: worker {} silent for {:.1?} (liveness {:.1?}); \
+                 quarantining unreachable host",
+                self.workers[widx].id,
+                now.duration_since(self.workers[widx].last_heard),
+                self.opts.liveness_timeout
+            );
+            self.stats.hosts_lost += 1;
+            self.stats.quarantined += 1;
+            self.write_off(widx)?;
+        }
+    }
+
     /// No fleet left: compute every unfinished shard in-process, fanned
     /// across the thread pool the workers were meant to replace.
     fn drain_in_process(&mut self) -> Result<(), String> {
@@ -643,13 +757,20 @@ where
     /// How long the event loop may sleep before something is due.
     fn next_wait(&self, now: Instant) -> Duration {
         let mut next: Option<Instant> = None;
+        let mut consider = |t: Instant| next = Some(next.map_or(t, |n| n.min(t)));
         for s in &self.shards {
-            let t = match s.status {
-                ShardStatus::Running { deadline, .. } => deadline,
-                ShardStatus::Pending { eligible_at } if eligible_at > now => eligible_at,
-                _ => continue,
-            };
-            next = Some(next.map_or(t, |n| n.min(t)));
+            match s.status {
+                ShardStatus::Running { deadline, .. } => consider(deadline),
+                ShardStatus::Pending { eligible_at } if eligible_at > now => {
+                    consider(eligible_at);
+                }
+                _ => {}
+            }
+        }
+        for w in &self.workers {
+            if w.healthy && w.remote {
+                consider(w.last_heard + self.opts.liveness_timeout);
+            }
         }
         next.map_or(Duration::from_millis(100), |t| {
             t.saturating_duration_since(now)

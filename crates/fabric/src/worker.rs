@@ -1,11 +1,17 @@
 //! The worker side of the fabric: a stdin→stdout shard executor.
 //!
-//! `pbbf worker` calls [`worker_loop`] with an executor closure; the
-//! loop reads one [`ShardSpec`](crate::protocol::ShardSpec) JSON line
-//! at a time, executes it, and writes one
+//! `pbbf worker` calls [`worker_loop`] (or [`worker_loop_with`], which
+//! also reports deployment-cache telemetry) with an executor closure;
+//! the loop reads one [`ShardSpec`](crate::protocol::ShardSpec) JSON
+//! line at a time, executes it, and writes one
 //! [`WorkerReply`](crate::protocol::WorkerReply) line back, flushed per
 //! shard so the supervisor sees results the moment they exist. EOF on
 //! stdin is the shutdown signal — the supervisor just closes the pipe.
+//!
+//! The socket-transport worker (`pbbf worker --listen`, see
+//! [`crate::tcp::serve_listener`]) speaks the identical line protocol
+//! over a TCP connection and shares the per-spec execution logic here
+//! ([`SpecOutcome`] via `outcome_for_spec`).
 //!
 //! Fault injection (`PBBF_FAULT`, parsed by
 //! [`FaultPlan::from_env`](crate::fault::FaultPlan::from_env)) is
@@ -14,11 +20,60 @@
 use std::io::{BufRead, Write};
 
 use crate::fault::{FaultKind, FaultPlan};
-use crate::protocol::{checksum, encode_values, result_reply, ShardError, ShardSpec, WorkerReply};
+use crate::protocol::{
+    checksum, encode_values, result_reply, CacheTelemetry, ShardError, ShardSpec, WorkerReply,
+};
 use serde_json::Value as Json;
 
+/// What executing one spec (fault plan applied) amounts to.
+pub(crate) enum SpecOutcome {
+    /// A reply line to send back.
+    Reply(WorkerReply),
+    /// Injected crash: the worker process must exit with this code.
+    Crash(i32),
+}
+
+/// Executes one spec under the fault plan. An injected hang sleeps
+/// right here, forever — in socket mode the heartbeat thread keeps
+/// beating, which is exactly the "host alive, shard wedged" shape the
+/// supervisor's per-shard deadline (not host liveness) must catch.
+pub(crate) fn outcome_for_spec<E>(plan: &FaultPlan, spec: &ShardSpec, exec: &E) -> SpecOutcome
+where
+    E: Fn(&Json) -> Result<Vec<Option<f64>>, String>,
+{
+    match plan.fault_for(spec.id, spec.attempt) {
+        Some(FaultKind::Crash) => {
+            eprintln!("pbbf worker: injected crash on shard {}", spec.id);
+            SpecOutcome::Crash(3)
+        }
+        Some(FaultKind::Hang) => {
+            eprintln!("pbbf worker: injected hang on shard {}", spec.id);
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        Some(FaultKind::Corrupt) => {
+            eprintln!("pbbf worker: injected corruption on shard {}", spec.id);
+            SpecOutcome::Reply(corrupt_reply(spec, exec))
+        }
+        None => SpecOutcome::Reply(match exec(&spec.job) {
+            Ok(values) => result_reply(spec.id, &values),
+            Err(error) => WorkerReply::Error(ShardError { id: spec.id, error }),
+        }),
+    }
+}
+
+/// Renders a reply to its wire line.
+pub(crate) fn render_reply(reply: &WorkerReply, shard_id: u32) -> String {
+    serde_json::to_string(reply).unwrap_or_else(|e| {
+        // Infallible with the shim; belt-and-braces for API parity.
+        format!("{{\"Error\":{{\"id\":{shard_id},\"error\":\"render: {e}\"}}}}")
+    })
+}
+
 /// Runs the worker loop over this process's stdin/stdout until EOF,
-/// returning the process exit code.
+/// returning the process exit code. No telemetry heartbeats are
+/// emitted; see [`worker_loop_with`].
 ///
 /// `exec` maps an opaque job payload to its per-run values; an `Err`
 /// is reported to the supervisor as a refused shard (the worker stays
@@ -30,7 +85,31 @@ pub fn worker_loop<E>(exec: E) -> i32
 where
     E: Fn(&Json) -> Result<Vec<Option<f64>>, String>,
 {
+    worker_loop_impl(exec, None::<fn() -> CacheTelemetry>)
+}
+
+/// [`worker_loop`], plus telemetry: after every reply the worker also
+/// writes a [`WorkerReply::Heartbeat`] line carrying `telemetry()`'s
+/// counters as a delta from loop start, so the supervisor's
+/// `SweepStats` can aggregate deployment-cache behavior across the
+/// fleet.
+pub fn worker_loop_with<E, T>(exec: E, telemetry: T) -> i32
+where
+    E: Fn(&Json) -> Result<Vec<Option<f64>>, String>,
+    T: Fn() -> CacheTelemetry,
+{
+    worker_loop_impl(exec, Some(telemetry))
+}
+
+fn worker_loop_impl<E, T>(exec: E, telemetry: Option<T>) -> i32
+where
+    E: Fn(&Json) -> Result<Vec<Option<f64>>, String>,
+    T: Fn() -> CacheTelemetry,
+{
     let plan = FaultPlan::from_env();
+    let baseline = telemetry
+        .as_ref()
+        .map_or_else(CacheTelemetry::default, |t| t());
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -46,33 +125,16 @@ where
                 return 1;
             }
         };
-        let reply = match plan.fault_for(spec.id, spec.attempt) {
-            Some(FaultKind::Crash) => {
-                eprintln!("pbbf worker: injected crash on shard {}", spec.id);
-                return 3;
-            }
-            Some(FaultKind::Hang) => {
-                eprintln!("pbbf worker: injected hang on shard {}", spec.id);
-                loop {
-                    std::thread::sleep(std::time::Duration::from_secs(3600));
-                }
-            }
-            Some(FaultKind::Corrupt) => {
-                eprintln!("pbbf worker: injected corruption on shard {}", spec.id);
-                corrupt_reply(&spec, &exec)
-            }
-            None => match exec(&spec.job) {
-                Ok(values) => result_reply(spec.id, &values),
-                Err(error) => WorkerReply::Error(ShardError { id: spec.id, error }),
-            },
+        let reply = match outcome_for_spec(&plan, &spec, &exec) {
+            SpecOutcome::Reply(reply) => reply,
+            SpecOutcome::Crash(code) => return code,
         };
-        let rendered = serde_json::to_string(&reply).unwrap_or_else(|e| {
-            // Infallible with the shim; belt-and-braces for API parity.
-            format!(
-                "{{\"Error\":{{\"id\":{},\"error\":\"render: {e}\"}}}}",
-                spec.id
-            )
-        });
+        let mut rendered = render_reply(&reply, spec.id);
+        if let Some(telemetry) = &telemetry {
+            let beat = WorkerReply::Heartbeat(telemetry().saturating_sub(baseline));
+            rendered.push('\n');
+            rendered.push_str(&render_reply(&beat, spec.id));
+        }
         if writeln!(out, "{rendered}")
             .and_then(|()| out.flush())
             .is_err()
@@ -134,5 +196,25 @@ mod tests {
             panic!("corrupt replies are Results");
         };
         assert_ne!(checksum(r.id, &r.values), r.checksum);
+    }
+
+    #[test]
+    fn outcome_for_clean_spec_is_the_result_reply() {
+        let exec = |_: &Json| Ok(vec![Some(1.0), None]);
+        let SpecOutcome::Reply(reply) = outcome_for_spec(&FaultPlan::parse(""), &spec(4), &exec)
+        else {
+            panic!("no fault planned");
+        };
+        assert_eq!(reply, result_reply(4, &[Some(1.0), None]));
+    }
+
+    #[test]
+    fn outcome_for_crash_fault_asks_for_exit() {
+        let exec = |_: &Json| Ok(vec![]);
+        let plan = FaultPlan::parse("crash:4");
+        assert!(matches!(
+            outcome_for_spec(&plan, &spec(4), &exec),
+            SpecOutcome::Crash(3)
+        ));
     }
 }

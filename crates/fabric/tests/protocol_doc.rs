@@ -1,0 +1,124 @@
+//! Keeps `docs/PROTOCOL.md` honest: every fenced worked example in the
+//! spec is extracted, parsed against the real wire types, round-tripped,
+//! and (for `Result`s) checksum-validated. If the protocol drifts from
+//! its documentation, this file fails before any human notices.
+
+use pbbf_fabric::protocol::{checksum, ShardSpec, WorkerReply};
+
+const DOC: &str = include_str!("../../../docs/PROTOCOL.md");
+
+/// Collects the contents of fenced code blocks whose info string is
+/// exactly `tag` (e.g. ` ```json spec `).
+fn fenced_blocks(tag: &str) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in DOC.lines() {
+        match &mut current {
+            Some(buf) => {
+                if line.trim_end() == "```" {
+                    blocks.push(std::mem::take(buf));
+                    current = None;
+                } else {
+                    buf.push_str(line);
+                    buf.push('\n');
+                }
+            }
+            None => {
+                if line.trim_end() == format!("```{tag}") {
+                    current = Some(String::new());
+                }
+            }
+        }
+    }
+    assert!(
+        current.is_none(),
+        "unterminated ```{tag} block in PROTOCOL.md"
+    );
+    blocks
+}
+
+#[test]
+fn every_documented_spec_example_parses_and_round_trips() {
+    let blocks = fenced_blocks("json spec");
+    assert!(
+        !blocks.is_empty(),
+        "PROTOCOL.md documents no ShardSpec example"
+    );
+    for block in &blocks {
+        for line in block.lines().filter(|l| !l.trim().is_empty()) {
+            let spec: ShardSpec = serde_json::from_str(line)
+                .unwrap_or_else(|e| panic!("documented spec does not parse ({e}): {line}"));
+            let rendered = serde_json::to_string(&spec).expect("render");
+            let again: ShardSpec = serde_json::from_str(&rendered).expect("reparse");
+            assert_eq!(again, spec, "spec round-trip changed the message");
+        }
+    }
+}
+
+#[test]
+fn every_documented_reply_example_parses_validates_and_round_trips() {
+    let blocks = fenced_blocks("json reply");
+    let mut results = 0;
+    let mut errors = 0;
+    let mut heartbeats = 0;
+    for block in &blocks {
+        for line in block.lines().filter(|l| !l.trim().is_empty()) {
+            let reply: WorkerReply = serde_json::from_str(line)
+                .unwrap_or_else(|e| panic!("documented reply does not parse ({e}): {line}"));
+            match &reply {
+                WorkerReply::Result(r) => {
+                    results += 1;
+                    assert_eq!(
+                        r.checksum,
+                        checksum(r.id, &r.values),
+                        "documented checksum is wrong for: {line}"
+                    );
+                }
+                WorkerReply::Error(_) => errors += 1,
+                WorkerReply::Heartbeat(_) => heartbeats += 1,
+            }
+            let rendered = serde_json::to_string(&reply).expect("render");
+            let again: WorkerReply = serde_json::from_str(&rendered).expect("reparse");
+            assert_eq!(again, reply, "reply round-trip changed the message");
+        }
+    }
+    assert!(results >= 2, "spec must work at least two Result examples");
+    assert!(errors >= 1, "spec must work an Error example");
+    assert!(heartbeats >= 1, "spec must work a Heartbeat example");
+}
+
+#[test]
+fn documented_bit_patterns_are_the_real_ones() {
+    // §3.1 and §4 quote concrete f64::to_bits values; hold them to it.
+    for (float, bits) in [
+        (1.5_f64, 4609434218613702656_u64),
+        (2.0, 4611686018427387904),
+    ] {
+        assert_eq!(float.to_bits(), bits);
+        assert!(
+            DOC.contains(&bits.to_string()),
+            "PROTOCOL.md no longer quotes to_bits({float}) = {bits}"
+        );
+    }
+    let neg_zero = (-0.0_f64).to_bits();
+    assert_eq!(neg_zero, 9223372036854775808);
+    assert!(DOC.contains(&neg_zero.to_string()));
+}
+
+#[test]
+fn documented_fnv_parameters_are_the_real_ones() {
+    // §5 spells out offset basis and prime; the empty-input digest
+    // pins both (checksum of id 0 over no values folds exactly the
+    // two header words through FNV-1a with those constants).
+    assert!(
+        DOC.contains("0xcbf29ce484222325"),
+        "offset basis not documented"
+    );
+    assert!(DOC.contains("0x100000001b3"), "prime not documented");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    // two zero header words (id = 0, len = 0), byte at a time
+    for zero_byte in [0u8; 16] {
+        h = (h ^ u64::from(zero_byte)).wrapping_mul(0x100_0000_01b3);
+    }
+    assert_eq!(h, checksum(0, &[]), "documented FNV parameters drifted");
+}

@@ -8,7 +8,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use pbbf_fabric::protocol::{result_reply, ShardError, ShardSpec, WorkerReply};
-use pbbf_fabric::{run_sweep, ShardInput, SweepOptions, WorkerEvent, WorkerFactory, WorkerLink};
+use pbbf_fabric::{
+    run_sweep, CacheTelemetry, ShardInput, SweepOptions, WorkerEvent, WorkerFactory, WorkerLink,
+};
 use serde::{Deserialize, Serialize};
 use serde_json::Value as Json;
 
@@ -59,6 +61,9 @@ enum Action {
     Die,
     /// Say nothing (the hang shape — the deadline must catch it).
     Silent,
+    /// Transport dropped and came back: emit `Reset` (the in-flight
+    /// shard is lost on the far side, the worker survives).
+    Reset,
 }
 
 type Script = dyn Fn(usize, &ShardSpec) -> Vec<Action> + Send + Sync;
@@ -67,6 +72,12 @@ struct MockFactory {
     script: Arc<Script>,
     /// Slots whose spawn fails outright.
     fail_slots: Vec<usize>,
+    /// Spawn links that claim to be remote (host-liveness applies).
+    remote: bool,
+    /// Slots exempt from `remote` (mixed-fleet tests). A scripted mock
+    /// can't heartbeat while idle the way a real TCP worker does, so
+    /// liveness tests mark only the misbehaving slot remote.
+    local_slots: Vec<usize>,
 }
 
 impl MockFactory {
@@ -74,6 +85,15 @@ impl MockFactory {
         Self {
             script: Arc::new(script),
             fail_slots: Vec::new(),
+            remote: false,
+            local_slots: Vec::new(),
+        }
+    }
+
+    fn remote(script: impl Fn(usize, &ShardSpec) -> Vec<Action> + Send + Sync + 'static) -> Self {
+        Self {
+            remote: true,
+            ..Self::new(script)
         }
     }
 }
@@ -84,6 +104,7 @@ struct MockLink {
     events: Sender<WorkerEvent>,
     script: Arc<Script>,
     dead: bool,
+    remote: bool,
 }
 
 impl WorkerLink for MockLink {
@@ -108,6 +129,11 @@ impl WorkerLink for MockLink {
                     });
                 }
                 Action::Silent => {}
+                Action::Reset => {
+                    let _ = self.events.send(WorkerEvent::Reset {
+                        worker: self.worker,
+                    });
+                }
             }
         }
         Ok(())
@@ -120,6 +146,10 @@ impl WorkerLink for MockLink {
                 worker: self.worker,
             });
         }
+    }
+
+    fn remote(&self) -> bool {
+        self.remote
     }
 }
 
@@ -139,6 +169,7 @@ impl WorkerFactory for MockFactory {
             events,
             script: Arc::clone(&self.script),
             dead: false,
+            remote: self.remote && !self.local_slots.contains(&slot),
         }))
     }
 }
@@ -332,4 +363,105 @@ fn empty_manifest_is_a_noop() {
     let out = run_sweep(Vec::new(), &opts(2), &factory, exec).unwrap();
     assert!(out.values.is_empty());
     assert_eq!(out.stats.workers_spawned, 0);
+}
+
+fn heartbeat_line(t: CacheTelemetry) -> String {
+    serde_json::to_string(&WorkerReply::Heartbeat(t)).unwrap()
+}
+
+#[test]
+fn silent_remote_host_trips_liveness_not_the_shard_deadline() {
+    // Slot 0 goes completely dark on its first shard — the vanished-host
+    // shape. The shard deadline is far away; host liveness must be what
+    // reclaims the shard, and the honest worker finishes the sweep.
+    let mut factory = MockFactory::remote(|slot, spec| {
+        if slot == 0 {
+            vec![Action::Silent]
+        } else {
+            vec![Action::Reply(valid_reply(spec))]
+        }
+    });
+    // Only the dark host is remote: an idle scripted mock can't
+    // heartbeat, so an all-remote fleet would trip liveness at rest.
+    factory.local_slots = vec![1];
+    let mut o = opts(2);
+    o.liveness_timeout = Duration::from_millis(50);
+    let out = run_sweep(inputs(5, 2), &o, &factory, exec).unwrap();
+    assert_all_values(&out.values, 5, 2);
+    assert_eq!(out.stats.hosts_lost, 1);
+    assert_eq!(out.stats.quarantined, 1);
+    assert_eq!(out.stats.timeouts, 0, "liveness fired, not the deadline");
+}
+
+#[test]
+fn local_workers_are_exempt_from_liveness() {
+    // The same silence from a *local* (pipe) worker must NOT trip the
+    // host-liveness detector — pipes report death via Gone; only the
+    // per-shard deadline may reclaim this shard.
+    let factory = MockFactory::new(|slot, spec| {
+        if slot == 0 && spec.attempt == 0 {
+            vec![Action::Silent]
+        } else {
+            vec![Action::Reply(valid_reply(spec))]
+        }
+    });
+    let mut o = opts(2);
+    o.liveness_timeout = Duration::from_millis(20);
+    o.shard_timeout = Duration::from_millis(120);
+    let out = run_sweep(inputs(4, 2), &o, &factory, exec).unwrap();
+    assert_all_values(&out.values, 4, 2);
+    assert_eq!(out.stats.hosts_lost, 0);
+    assert_eq!(out.stats.timeouts, 1, "the deadline caught it instead");
+}
+
+#[test]
+fn transport_reset_requeues_without_losing_the_worker() {
+    // The yanked-cable-plugged-back-in path: the link reconnects mid-
+    // shard. The in-flight shard must requeue, the worker must stay in
+    // the fleet (it later completes the retry), and nothing counts as a
+    // crash or lost host.
+    let factory = MockFactory::remote(|_, spec| {
+        if spec.id == 2 && spec.attempt == 0 {
+            vec![Action::Reset]
+        } else {
+            vec![Action::Reply(valid_reply(spec))]
+        }
+    });
+    let out = run_sweep(inputs(6, 2), &opts(2), &factory, exec).unwrap();
+    assert_all_values(&out.values, 6, 2);
+    assert_eq!(out.stats.reconnects, 1);
+    assert_eq!(out.stats.crashes, 0);
+    assert_eq!(out.stats.hosts_lost, 0);
+    assert_eq!(out.stats.quarantined, 0);
+    assert!(out.stats.retries >= 1, "the lost shard was requeued");
+}
+
+#[test]
+fn heartbeat_telemetry_aggregates_across_the_fleet() {
+    // Each worker heartbeats its cache counters after every reply; the
+    // supervisor must keep the *latest* per worker and sum the fleet.
+    let factory = MockFactory::remote(|slot, spec| {
+        let t = if slot == 0 {
+            CacheTelemetry {
+                hits: 5,
+                misses: 2,
+                evictions: 1,
+            }
+        } else {
+            CacheTelemetry {
+                hits: 7,
+                misses: 3,
+                evictions: 0,
+            }
+        };
+        vec![
+            Action::Reply(valid_reply(spec)),
+            Action::Reply(heartbeat_line(t)),
+        ]
+    });
+    let out = run_sweep(inputs(6, 2), &opts(2), &factory, exec).unwrap();
+    assert_all_values(&out.values, 6, 2);
+    assert_eq!(out.stats.cache_hits, 12);
+    assert_eq!(out.stats.cache_misses, 5);
+    assert_eq!(out.stats.cache_evictions, 1);
 }

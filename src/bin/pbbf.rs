@@ -7,15 +7,20 @@
 //! pbbf net       --p 0.25 --q 0.25 --delta 10   run the Section-5 simulator
 //! pbbf reproduce [--paper] [fig13 ...]          regenerate paper exhibits
 //! pbbf sweep     --workers 4 [fig13 ...]        multi-process figure sweep
+//! pbbf sweep     --hosts a:7801,b:7801 [...]    ... mixing in TCP workers
 //! pbbf worker                                   (internal) sweep shard executor
+//! pbbf worker    --listen 0.0.0.0:7801          ... serving over TCP instead
 //! ```
 //!
 //! `sweep` shards a figure's Monte Carlo runs across `worker` child
-//! processes through the fault-tolerant fabric (`pbbf-fabric`); its
-//! stdout is byte-identical to `reproduce` of the same figure, which CI
-//! enforces under injected worker faults. Argument parsing is
+//! processes — and, with `--hosts`, across remote `worker --listen`
+//! processes over TCP — through the fault-tolerant fabric
+//! (`pbbf-fabric`); its stdout is byte-identical to `reproduce` of the
+//! same figure, which CI enforces under injected worker faults and a
+//! kill -9'd TCP worker (see `docs/OPERATIONS.md`). Argument parsing is
 //! deliberately dependency-free (the offline crate budget is spent on
-//! simulation, not flag handling).
+//! simulation, not flag handling), but strict: every command declares
+//! its flag set and rejects strays instead of silently defaulting.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -23,7 +28,10 @@ use std::time::Duration;
 
 use pbbf::prelude::*;
 use pbbf_experiments::sweep::{assemble_sweep, run_sweep_shard, sweep_manifest, ShardJob};
-use pbbf_fabric::{ProcessWorkerFactory, ShardInput, SweepOptions};
+use pbbf_fabric::{
+    CacheTelemetry, HybridWorkerFactory, ProcessWorkerFactory, ServeOptions, ShardInput,
+    SweepOptions, TcpWorkerFactory, WorkerFactory,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -65,26 +73,63 @@ fn print_help() {
          \x20 ideal      --grid <n> --p <f> --q <f> [--updates <n>] [--seed <n>]\n\
          \x20 net        --p <f> --q <f> [--delta <f>] [--duration <s>] [--seed <n>]\n\
          \x20 reproduce  [--paper] [--plot] [--seed <n>] [table1 fig04 ... fig18]\n\
-         \x20 sweep      [--paper] [--seed <n>] [--workers <n>] [--shard-timeout <s>] [fig13 ... fig18]\n\
-         \x20 worker     (internal) executes sweep shards from stdin\n\
-         \x20 help"
+         \x20 sweep      [--paper] [--seed <n>] [--workers <n>] [--hosts <h:p,...>]\n\
+         \x20            [--shard-timeout <s>] [--liveness <s>] [fig13 ... fig18]\n\
+         \x20 worker     executes sweep shards from stdin (internal), or over TCP with\n\
+         \x20            [--listen <addr:port>] [--heartbeat <s>] [--once]\n\
+         \x20 help\n\n\
+         Wire protocol spec: docs/PROTOCOL.md; sweep ops guide: docs/OPERATIONS.md"
     );
 }
 
-/// Parses `--key value` flags plus bare positionals.
-fn parse(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), String> {
+/// One flag a command accepts: its `--name` and whether it consumes a
+/// value (`--seed 7`) or stands alone (`--paper`).
+#[derive(Clone, Copy)]
+struct FlagSpec {
+    name: &'static str,
+    takes_value: bool,
+}
+
+const fn val(name: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        takes_value: true,
+    }
+}
+
+const fn bare(name: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        takes_value: false,
+    }
+}
+
+/// Parses `--key value` flags plus bare positionals, rejecting any
+/// flag the command did not declare — a stray `--worker 4` must fail
+/// loudly, not silently run with defaults.
+fn parse(
+    args: &[String],
+    allowed: &[FlagSpec],
+) -> Result<(HashMap<String, String>, Vec<String>), String> {
     let mut flags = HashMap::new();
     let mut positional = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
-            if key == "paper" || key == "plot" {
-                flags.insert(key.to_string(), "true".to_string());
-            } else {
+            let Some(spec) = allowed.iter().find(|f| f.name == key) else {
+                let names: Vec<String> = allowed.iter().map(|f| format!("--{}", f.name)).collect();
+                return Err(format!(
+                    "unknown flag --{key} (this command accepts: {})",
+                    names.join(", ")
+                ));
+            };
+            if spec.takes_value {
                 let value = it
                     .next()
                     .ok_or_else(|| format!("flag --{key} needs a value"))?;
                 flags.insert(key.to_string(), value.clone());
+            } else {
+                flags.insert(key.to_string(), "true".to_string());
             }
         } else {
             positional.push(a.clone());
@@ -112,7 +157,7 @@ fn get_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> Result<u
 }
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
-    let (flags, _) = parse(args)?;
+    let (flags, _) = parse(args, &[val("p"), val("q")])?;
     let p = get_f64(&flags, "p", None)?;
     let q = get_f64(&flags, "q", None)?;
     let params = PbbfParams::new(p, q).map_err(|e| e.to_string())?;
@@ -149,7 +194,10 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_boundary(args: &[String]) -> Result<(), String> {
-    let (flags, _) = parse(args)?;
+    let (flags, _) = parse(
+        args,
+        &[val("grid"), val("reliability"), val("runs"), val("seed")],
+    )?;
     let grid = get_u64(&flags, "grid", 30)? as u32;
     let reliability = get_f64(&flags, "reliability", Some(0.99))?;
     let runs = get_u64(&flags, "runs", 150)? as u32;
@@ -172,7 +220,10 @@ fn cmd_boundary(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_ideal(args: &[String]) -> Result<(), String> {
-    let (flags, _) = parse(args)?;
+    let (flags, _) = parse(
+        args,
+        &[val("grid"), val("p"), val("q"), val("updates"), val("seed")],
+    )?;
     let grid = get_u64(&flags, "grid", 25)? as u32;
     let p = get_f64(&flags, "p", None)?;
     let q = get_f64(&flags, "q", None)?;
@@ -207,7 +258,16 @@ fn cmd_ideal(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_net(args: &[String]) -> Result<(), String> {
-    let (flags, _) = parse(args)?;
+    let (flags, _) = parse(
+        args,
+        &[
+            val("p"),
+            val("q"),
+            val("delta"),
+            val("duration"),
+            val("seed"),
+        ],
+    )?;
     let p = get_f64(&flags, "p", None)?;
     let q = get_f64(&flags, "q", None)?;
     let delta = get_f64(&flags, "delta", Some(10.0))?;
@@ -249,7 +309,7 @@ fn cmd_net(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_reproduce(args: &[String]) -> Result<(), String> {
-    let (flags, positional) = parse(args)?;
+    let (flags, positional) = parse(args, &[bare("paper"), bare("plot"), val("seed")])?;
     let effort = if flags.contains_key("paper") {
         Effort::paper()
     } else {
@@ -284,21 +344,124 @@ fn exec_shard(job: &serde_json::Value) -> Result<Vec<Option<f64>>, String> {
     run_sweep_shard(&shard)
 }
 
-fn cmd_worker(args: &[String]) -> Result<(), String> {
-    let (_, positional) = parse(args)?;
-    if !positional.is_empty() {
-        return Err(format!("worker takes no arguments, got {positional:?}"));
-    }
-    let code = pbbf_fabric::worker_loop(exec_shard);
-    if code == 0 {
-        Ok(())
-    } else {
-        std::process::exit(code)
+/// Deployment-cache counters for worker heartbeat telemetry.
+fn cache_telemetry() -> CacheTelemetry {
+    let s = DeploymentCache::global().stats();
+    CacheTelemetry {
+        hits: s.hits,
+        misses: s.misses,
+        evictions: s.evictions,
     }
 }
 
+/// Splits `--hosts a:7801,b:7802` into endpoints, insisting every
+/// entry carries an explicit port — a bare hostname would silently
+/// resolve nowhere at connect time, which is too late to be helpful.
+fn parse_hosts(spec: &str) -> Result<Vec<String>, String> {
+    let mut hosts = Vec::new();
+    for raw in spec.split(',') {
+        let entry = raw.trim();
+        if entry.is_empty() {
+            return Err(format!(
+                "--hosts: empty entry in `{spec}` (expected host:port,host:port,...)"
+            ));
+        }
+        let Some((host, port)) = entry.rsplit_once(':') else {
+            return Err(format!(
+                "--hosts: `{entry}` has no port (expected host:port, e.g. 10.0.0.2:7801)"
+            ));
+        };
+        if host.is_empty() {
+            return Err(format!("--hosts: `{entry}` has no host before the colon"));
+        }
+        if port.parse::<u16>().is_err() {
+            return Err(format!(
+                "--hosts: `{entry}` has a bad port `{port}` (expected 1-65535)"
+            ));
+        }
+        hosts.push(entry.to_string());
+    }
+    Ok(hosts)
+}
+
+/// Parses a `--flag` holding a duration in seconds, requiring it to be
+/// finite and strictly positive.
+fn get_secs(flags: &HashMap<String, String>, key: &str, default: f64) -> Result<Duration, String> {
+    let secs = get_f64(flags, key, Some(default))?;
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err(format!("--{key}: must be a positive number of seconds"));
+    }
+    Ok(Duration::from_secs_f64(secs))
+}
+
+/// How many workers a sweep fleet gets: remote hosts plus local
+/// subprocesses. With `--hosts` alone the fleet is purely remote; a
+/// bare `--workers 0` would mean "no fleet at all", which is an error,
+/// not a degenerate sweep.
+fn plan_fleet(flags: &HashMap<String, String>, hosts: &[String]) -> Result<(usize, usize), String> {
+    let default_local = if hosts.is_empty() {
+        pbbf_parallel::max_threads() as u64
+    } else {
+        0
+    };
+    let local = get_u64(flags, "workers", default_local)? as usize;
+    if local == 0 && hosts.is_empty() {
+        return Err("--workers 0 with no --hosts leaves nothing to run shards; \
+             pass --workers >= 1 or add --hosts"
+            .to_string());
+    }
+    Ok((hosts.len(), local))
+}
+
+fn cmd_worker(args: &[String]) -> Result<(), String> {
+    let (flags, positional) = parse(args, &[val("listen"), val("heartbeat"), bare("once")])?;
+    if !positional.is_empty() {
+        return Err(format!(
+            "worker takes no positional arguments, got {positional:?}"
+        ));
+    }
+    let Some(listen) = flags.get("listen") else {
+        for conflicting in ["heartbeat", "once"] {
+            if flags.contains_key(conflicting) {
+                return Err(format!(
+                    "--{conflicting} only applies to TCP serving; add --listen <addr:port> \
+                     or drop it for stdin mode"
+                ));
+            }
+        }
+        let code = pbbf_fabric::worker_loop_with(exec_shard, cache_telemetry);
+        if code == 0 {
+            return Ok(());
+        }
+        std::process::exit(code)
+    };
+    let options = ServeOptions {
+        heartbeat: get_secs(&flags, "heartbeat", 1.0)?,
+        once: flags.contains_key("once"),
+    };
+    let listener = std::net::TcpListener::bind(listen.as_str())
+        .map_err(|e| format!("--listen {listen}: bind failed: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    // Announced on stdout (and flushed) so scripts binding port 0 can
+    // read the ephemeral port back; see docs/OPERATIONS.md.
+    println!("pbbf worker: listening on {addr}");
+    std::io::Write::flush(&mut std::io::stdout()).map_err(|e| e.to_string())?;
+    pbbf_fabric::serve_listener(&listener, &options, exec_shard, cache_telemetry)
+        .map_err(|e| format!("serve on {addr}: {e}"))
+}
+
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
-    let (flags, positional) = parse(args)?;
+    let (flags, positional) = parse(
+        args,
+        &[
+            bare("paper"),
+            val("seed"),
+            val("workers"),
+            val("hosts"),
+            val("shard-timeout"),
+            val("liveness"),
+        ],
+    )?;
     let effort = if flags.contains_key("paper") {
         Effort::paper()
     } else {
@@ -311,12 +474,27 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     } else {
         positional
     };
+    let hosts = match flags.get("hosts") {
+        Some(spec) => parse_hosts(spec)?,
+        None => Vec::new(),
+    };
+    let (remote, local) = plan_fleet(&flags, &hosts)?;
     let opts = SweepOptions {
-        workers: get_u64(&flags, "workers", pbbf_parallel::max_threads() as u64)? as usize,
-        shard_timeout: Duration::from_secs_f64(get_f64(&flags, "shard-timeout", Some(120.0))?),
+        workers: remote + local,
+        shard_timeout: get_secs(&flags, "shard-timeout", 120.0)?,
+        liveness_timeout: get_secs(&flags, "liveness", 10.0)?,
         ..SweepOptions::default()
     };
-    let factory = ProcessWorkerFactory::current_exe(["worker"]).map_err(|e| e.to_string())?;
+    let process = ProcessWorkerFactory::current_exe(["worker"]).map_err(|e| e.to_string())?;
+    let factory: Box<dyn WorkerFactory> = if hosts.is_empty() {
+        Box::new(process)
+    } else {
+        Box::new(HybridWorkerFactory {
+            remote: TcpWorkerFactory::new(hosts),
+            remote_slots: remote,
+            local: process,
+        })
+    };
     for fig in &figures {
         let manifest = sweep_manifest(fig, &effort, seed).ok_or_else(|| {
             format!("`{fig}` is not a shardable figure (choose from {sweepable:?})")
@@ -329,7 +507,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                 expect: (j.run1 - j.run0) as usize,
             })
             .collect();
-        let outcome = pbbf_fabric::run_sweep(shards, &opts, &factory, exec_shard)?;
+        let outcome = pbbf_fabric::run_sweep(shards, &opts, &*factory, exec_shard)?;
         eprintln!("pbbf sweep: {fig}: {}", outcome.stats);
         // Byte-identical to `reproduce`'s figure path: same renderer,
         // same println.
@@ -339,4 +517,100 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parse_rejects_undeclared_flags() {
+        let err = parse(&argv("--worker 4"), &[val("workers")]).unwrap_err();
+        assert!(err.contains("unknown flag --worker"), "{err}");
+        assert!(
+            err.contains("--workers"),
+            "suggests the accepted set: {err}"
+        );
+    }
+
+    #[test]
+    fn parse_requires_values_where_declared() {
+        let err = parse(&argv("--seed"), &[val("seed")]).unwrap_err();
+        assert!(err.contains("--seed needs a value"), "{err}");
+    }
+
+    #[test]
+    fn parse_separates_flags_and_positionals() {
+        let (flags, pos) = parse(&argv("fig13 --paper fig17"), &[bare("paper")]).unwrap();
+        assert_eq!(flags.get("paper").map(String::as_str), Some("true"));
+        assert_eq!(pos, ["fig13", "fig17"]);
+    }
+
+    #[test]
+    fn hosts_parse_into_endpoints() {
+        assert_eq!(
+            parse_hosts("10.0.0.2:7801, node-b:7802").unwrap(),
+            ["10.0.0.2:7801", "node-b:7802"]
+        );
+    }
+
+    #[test]
+    fn hosts_without_a_port_are_rejected() {
+        let err = parse_hosts("10.0.0.2").unwrap_err();
+        assert!(err.contains("no port"), "{err}");
+    }
+
+    #[test]
+    fn hosts_with_bad_ports_or_gaps_are_rejected() {
+        assert!(parse_hosts("a:70000").unwrap_err().contains("bad port"));
+        assert!(parse_hosts("a:x").unwrap_err().contains("bad port"));
+        assert!(parse_hosts("a:1,,b:2").unwrap_err().contains("empty entry"));
+        assert!(parse_hosts(":7801").unwrap_err().contains("no host"));
+    }
+
+    #[test]
+    fn fleet_defaults_to_local_threads_without_hosts() {
+        let (remote, local) = plan_fleet(&HashMap::new(), &[]).unwrap();
+        assert_eq!(remote, 0);
+        assert_eq!(local, pbbf_parallel::max_threads());
+    }
+
+    #[test]
+    fn fleet_with_hosts_defaults_to_purely_remote() {
+        let hosts = ["a:1".to_string(), "b:2".to_string()];
+        let (remote, local) = plan_fleet(&HashMap::new(), &hosts).unwrap();
+        assert_eq!((remote, local), (2, 0));
+    }
+
+    #[test]
+    fn fleet_mixes_remote_and_local_when_both_given() {
+        let hosts = ["a:1".to_string()];
+        let flags: HashMap<_, _> = [("workers".to_string(), "3".to_string())].into();
+        assert_eq!(plan_fleet(&flags, &hosts).unwrap(), (1, 3));
+    }
+
+    #[test]
+    fn zero_workers_without_hosts_is_an_error() {
+        let flags: HashMap<_, _> = [("workers".to_string(), "0".to_string())].into();
+        let err = plan_fleet(&flags, &[]).unwrap_err();
+        assert!(err.contains("--workers >= 1"), "{err}");
+        assert!(plan_fleet(&flags, &["a:1".to_string()]).is_ok());
+    }
+
+    #[test]
+    fn durations_must_be_positive_and_finite() {
+        for bad in ["0", "-3", "inf", "nan"] {
+            let flags: HashMap<_, _> = [("liveness".to_string(), bad.to_string())].into();
+            assert!(get_secs(&flags, "liveness", 10.0).is_err(), "{bad}");
+        }
+        let flags: HashMap<_, _> = [("liveness".to_string(), "2.5".to_string())].into();
+        assert_eq!(
+            get_secs(&flags, "liveness", 10.0).unwrap(),
+            Duration::from_secs_f64(2.5)
+        );
+    }
 }
