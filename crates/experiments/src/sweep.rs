@@ -11,6 +11,13 @@
 //! shard's exact value sequence — whichever process ran it, however
 //! many times it was retried — therefore reproduces the single-process
 //! figure byte for byte.
+//!
+//! The same property makes manifests freely *queueable*: because each
+//! job is self-contained and each manifest folds independently, a
+//! resident scheduler (`pbbf sweep --figs a,b,…`, backed by
+//! `pbbf-fabric`'s `SweepScheduler`) can multiplex several figures'
+//! manifests onto one worker fleet, stream shards back in completion
+//! order, and still assemble every figure as if it had run alone.
 
 use serde::{Deserialize, Serialize};
 

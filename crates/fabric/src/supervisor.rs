@@ -1,4 +1,4 @@
-//! The supervisor: shard assignment, liveness, retry, quarantine.
+//! Worker-fleet contracts and the one-shot sweep entry point.
 //!
 //! [`run_sweep`] drives a fixed fleet of workers (spawned once through
 //! a [`WorkerFactory`]; the fleet only ever shrinks) over a manifest of
@@ -10,23 +10,28 @@
 //! (killed, never respawned); a shard that exhausts its delivery
 //! attempts is executed in-process, as is the whole remaining manifest
 //! when no healthy workers are left (including the spawn-failed-
-//! entirely case). Results fold through [`ShardMerger`] by manifest
-//! position, so none of this scheduling is visible in the output: the
-//! sweep's bytes match the single-process fold exactly.
+//! entirely case). Results fold by manifest position, so none of this
+//! scheduling is visible in the output: the sweep's bytes match the
+//! single-process fold exactly.
 //!
 //! Late replies are welcome: a result arriving from a worker that was
 //! already written off still folds (shard values are deterministic, so
 //! *any* structurally valid copy is the right copy), and the retry's
-//! duplicate is dropped by the merger.
+//! duplicate is dropped.
+//!
+//! The per-shard state machine itself lives in
+//! [`scheduler`](crate::scheduler): [`run_sweep`] is a one-shot
+//! wrapper that builds a [`SweepScheduler`](crate::scheduler::SweepScheduler),
+//! runs the single manifest, and tears the fleet down. Callers that
+//! want to run *several* sweeps through one resident fleet use the
+//! scheduler directly. This module keeps the contracts both share:
+//! worker events, links, factories, options, and stats.
 
 use std::io::Write as _;
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
-use std::time::{Duration, Instant};
+use std::sync::mpsc::Sender;
+use std::time::Duration;
 
 use serde_json::Value as Json;
-
-use crate::merge::ShardMerger;
-use crate::protocol::{checksum, decode_values, CacheTelemetry, ShardSpec, WorkerReply};
 
 /// What a worker's reader pump delivers to the supervisor.
 #[derive(Debug)]
@@ -198,7 +203,8 @@ pub struct ShardInput {
 /// Failure-policy knobs.
 #[derive(Debug, Clone)]
 pub struct SweepOptions {
-    /// Fleet size to spawn (clamped to the shard count; min 1).
+    /// Fleet size to spawn ([`run_sweep`] clamps this to the shard
+    /// count; min 1).
     pub workers: usize,
     /// Per-shard wall-clock deadline; an overrun quarantines the
     /// worker and retries the shard.
@@ -259,7 +265,9 @@ pub struct SweepStats {
     pub hosts_lost: u64,
     /// Transport reconnects ([`WorkerEvent::Reset`]) survived.
     pub reconnects: u64,
-    /// Deployment-cache hits summed over worker heartbeat telemetry.
+    /// Deployment-cache hits summed over worker heartbeat telemetry
+    /// (all transport sessions, not just the last — see
+    /// `docs/PROTOCOL.md` on heartbeat-delta accumulation).
     pub cache_hits: u64,
     /// Deployment-cache misses summed over worker heartbeat telemetry.
     pub cache_misses: u64,
@@ -302,42 +310,6 @@ pub struct SweepOutcome {
     pub stats: SweepStats,
 }
 
-enum ShardStatus {
-    Pending { eligible_at: Instant },
-    Running { worker: u64, deadline: Instant },
-    Done,
-}
-
-struct Shard {
-    job: Json,
-    expect: usize,
-    attempt: u32,
-    status: ShardStatus,
-}
-
-struct Worker {
-    id: u64,
-    link: Box<dyn WorkerLink>,
-    strikes: u32,
-    current: Option<usize>,
-    healthy: bool,
-    /// Cached [`WorkerLink::remote`]: subject to host liveness.
-    remote: bool,
-    /// When this worker last produced any output line.
-    last_heard: Instant,
-    /// Latest deployment-cache telemetry the worker heartbeat.
-    telemetry: CacheTelemetry,
-}
-
-struct Supervisor<'a, E> {
-    shards: Vec<Shard>,
-    workers: Vec<Worker>,
-    merger: ShardMerger,
-    stats: SweepStats,
-    opts: &'a SweepOptions,
-    exec: &'a E,
-}
-
 /// Runs `shards` to completion across a worker fleet, returning every
 /// shard's values in manifest order.
 ///
@@ -346,6 +318,10 @@ struct Supervisor<'a, E> {
 /// shard exhausts its delivery attempts or when no healthy workers
 /// remain (including "none ever spawned"), so a sweep *completes* under
 /// any failure pattern the fabric can see.
+///
+/// This is the one-shot shape: spawn a fleet, run one manifest, tear
+/// the fleet down. To run several sweeps through one resident fleet,
+/// use [`SweepScheduler`](crate::scheduler::SweepScheduler) directly.
 ///
 /// # Errors
 ///
@@ -361,420 +337,16 @@ pub fn run_sweep<E>(
 where
     E: Fn(&Json) -> Result<Vec<Option<f64>>, String> + Sync,
 {
-    let now = Instant::now();
-    let mut sup = Supervisor {
-        merger: ShardMerger::new(inputs.len()),
-        shards: inputs
-            .into_iter()
-            .map(|s| Shard {
-                job: s.job,
-                expect: s.expect,
-                attempt: 0,
-                status: ShardStatus::Pending { eligible_at: now },
-            })
-            .collect(),
-        workers: Vec::new(),
-        stats: SweepStats::default(),
-        opts,
-        exec: &exec,
-    };
-    if sup.shards.is_empty() {
+    if inputs.is_empty() {
         return Ok(SweepOutcome {
             values: Vec::new(),
-            stats: sup.stats,
+            stats: SweepStats::default(),
         });
     }
-
-    // `tx` stays alive here for the whole sweep, so the channel never
-    // disconnects even after the last worker dies.
-    let (tx, rx) = std::sync::mpsc::channel();
-    let fleet = opts.workers.clamp(1, sup.shards.len());
-    for slot in 0..fleet {
-        let id = slot as u64 + 1; // workers never respawn, so slots are ids
-        match factory.spawn(slot, id, tx.clone()) {
-            Ok(link) => {
-                sup.stats.workers_spawned += 1;
-                let remote = link.remote();
-                sup.workers.push(Worker {
-                    id,
-                    link,
-                    strikes: 0,
-                    current: None,
-                    healthy: true,
-                    remote,
-                    last_heard: Instant::now(),
-                    telemetry: CacheTelemetry::default(),
-                });
-            }
-            Err(e) => {
-                sup.stats.spawn_failures += 1;
-                eprintln!("pbbf sweep: worker {id} failed to spawn: {e}");
-            }
-        }
-    }
-    sup.run(&rx)
-}
-
-impl<E> Supervisor<'_, E>
-where
-    E: Fn(&Json) -> Result<Vec<Option<f64>>, String> + Sync,
-{
-    fn run(mut self, rx: &Receiver<WorkerEvent>) -> Result<SweepOutcome, String> {
-        while !self.merger.is_complete() {
-            let now = Instant::now();
-            self.assign(now)?;
-            if self.merger.is_complete() {
-                break;
-            }
-            if self.healthy_workers() == 0 {
-                self.drain_in_process()?;
-                break;
-            }
-            match rx.recv_timeout(self.next_wait(Instant::now())) {
-                Ok(WorkerEvent::Line { worker, line }) => self.on_line(worker, &line)?,
-                Ok(WorkerEvent::Gone { worker }) => self.on_gone(worker)?,
-                Ok(WorkerEvent::Reset { worker }) => self.on_reset(worker)?,
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => {
-                    unreachable!("supervisor holds an event sender")
-                }
-            }
-            self.expire_deadlines(Instant::now())?;
-            self.expire_liveness(Instant::now())?;
-        }
-        for w in &mut self.workers {
-            w.link.kill(); // EOF/kill the fleet before folding
-        }
-        for w in &self.workers {
-            self.stats.cache_hits += w.telemetry.hits;
-            self.stats.cache_misses += w.telemetry.misses;
-            self.stats.cache_evictions += w.telemetry.evictions;
-        }
-        Ok(SweepOutcome {
-            values: self.merger.into_values(),
-            stats: self.stats,
-        })
-    }
-
-    fn healthy_workers(&self) -> usize {
-        self.workers.iter().filter(|w| w.healthy).count()
-    }
-
-    /// Hands every eligible pending shard (in manifest order) to an
-    /// idle healthy worker.
-    fn assign(&mut self, now: Instant) -> Result<(), String> {
-        loop {
-            let Some(sid) = self.shards.iter().position(
-                |s| matches!(s.status, ShardStatus::Pending { eligible_at } if eligible_at <= now),
-            ) else {
-                return Ok(());
-            };
-            let Some(widx) = self
-                .workers
-                .iter()
-                .position(|w| w.healthy && w.current.is_none())
-            else {
-                return Ok(());
-            };
-            let shard = &mut self.shards[sid];
-            let spec = ShardSpec {
-                id: sid as u32,
-                attempt: shard.attempt,
-                expect: shard.expect as u32,
-                job: shard.job.clone(),
-            };
-            let line = serde_json::to_string(&spec).map_err(|e| e.to_string())?;
-            shard.status = ShardStatus::Running {
-                worker: self.workers[widx].id,
-                deadline: now + self.opts.shard_timeout,
-            };
-            self.workers[widx].current = Some(sid);
-            if let Err(e) = self.workers[widx].link.send_line(&line) {
-                eprintln!(
-                    "pbbf sweep: worker {} unreachable ({e}); writing it off",
-                    self.workers[widx].id
-                );
-                self.stats.crashes += 1;
-                self.write_off(widx)?;
-            }
-        }
-    }
-
-    /// Marks a worker dead and recycles whatever it was running.
-    fn write_off(&mut self, widx: usize) -> Result<(), String> {
-        self.workers[widx].healthy = false;
-        self.workers[widx].link.kill();
-        if let Some(sid) = self.workers[widx].current.take() {
-            if matches!(self.shards[sid].status, ShardStatus::Running { .. }) {
-                self.fail_shard(sid)?;
-            }
-        }
-        Ok(())
-    }
-
-    /// A corrupt reply: strike the sender, quarantine on repeat.
-    fn strike(&mut self, widx: usize) -> Result<(), String> {
-        self.stats.corrupt += 1;
-        self.workers[widx].strikes += 1;
-        if self.workers[widx].strikes >= self.opts.max_worker_strikes {
-            eprintln!(
-                "pbbf sweep: quarantining worker {} after {} corrupt replies",
-                self.workers[widx].id, self.workers[widx].strikes
-            );
-            self.stats.quarantined += 1;
-            self.write_off(widx)?;
-        } else if let Some(sid) = self.workers[widx].current.take() {
-            if matches!(self.shards[sid].status, ShardStatus::Running { .. }) {
-                self.fail_shard(sid)?;
-            }
-        }
-        Ok(())
-    }
-
-    /// Reschedules a failed shard with backoff, or — attempts spent —
-    /// computes it right here.
-    fn fail_shard(&mut self, sid: usize) -> Result<(), String> {
-        let shard = &mut self.shards[sid];
-        shard.attempt += 1;
-        self.stats.retries += 1;
-        if shard.attempt >= self.opts.max_shard_attempts {
-            eprintln!("pbbf sweep: shard {sid} exhausted worker attempts; running in-process");
-            return self.run_in_process(sid);
-        }
-        let exp = shard.attempt.saturating_sub(1).min(16);
-        let backoff = self
-            .opts
-            .backoff_base
-            .checked_mul(1 << exp)
-            .unwrap_or(self.opts.backoff_cap)
-            .min(self.opts.backoff_cap);
-        shard.status = ShardStatus::Pending {
-            eligible_at: Instant::now() + backoff,
-        };
-        Ok(())
-    }
-
-    fn run_in_process(&mut self, sid: usize) -> Result<(), String> {
-        let values = (self.exec)(&self.shards[sid].job)
-            .map_err(|e| format!("shard {sid} failed in-process: {e}"))?;
-        self.accept(sid, values);
-        self.stats.inproc_shards += 1;
-        Ok(())
-    }
-
-    /// Folds a validated value vector and releases whoever was on it.
-    fn accept(&mut self, sid: usize, values: Vec<Option<f64>>) {
-        self.merger.offer(sid, values); // duplicate → no-op, by design
-        self.shards[sid].status = ShardStatus::Done;
-        for w in &mut self.workers {
-            if w.current == Some(sid) {
-                w.current = None;
-            }
-        }
-    }
-
-    fn on_line(&mut self, worker: u64, line: &str) -> Result<(), String> {
-        let Some(widx) = self.workers.iter().position(|w| w.id == worker) else {
-            return Ok(()); // unknown sender: drop
-        };
-        self.workers[widx].last_heard = Instant::now();
-        let reply: WorkerReply = match serde_json::from_str(line) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("pbbf sweep: unparseable reply from worker {worker}: {e}");
-                return self.strike(widx);
-            }
-        };
-        match reply {
-            WorkerReply::Result(r) => {
-                let sid = r.id as usize;
-                let valid = self.shards.get(sid).is_some_and(|s| {
-                    r.values.len() == s.expect && checksum(r.id, &r.values) == r.checksum
-                });
-                if !valid {
-                    eprintln!(
-                        "pbbf sweep: corrupt result for shard {} from worker {worker}",
-                        r.id
-                    );
-                    return self.strike(widx);
-                }
-                // Deterministic values: any structurally valid copy is
-                // correct, even from a worker we already wrote off.
-                self.accept(sid, decode_values(&r.values));
-                Ok(())
-            }
-            WorkerReply::Error(e) => {
-                // An honest refusal — the job itself is suspect. The
-                // retry ladder ends at the in-process executor, which
-                // surfaces a real error if the job truly is malformed.
-                eprintln!(
-                    "pbbf sweep: worker {worker} refused shard {}: {}",
-                    e.id, e.error
-                );
-                self.stats.refused += 1;
-                let sid = e.id as usize;
-                if self.workers[widx].current == Some(sid) {
-                    self.workers[widx].current = None;
-                    if matches!(
-                        self.shards.get(sid).map(|s| &s.status),
-                        Some(ShardStatus::Running { .. })
-                    ) {
-                        return self.fail_shard(sid);
-                    }
-                }
-                Ok(())
-            }
-            WorkerReply::Heartbeat(t) => {
-                // Pure liveness + telemetry; `last_heard` already moved.
-                self.workers[widx].telemetry = t;
-                Ok(())
-            }
-        }
-    }
-
-    /// The worker's transport dropped and reconnected: whatever it was
-    /// running is lost on the far side, so requeue it — but the worker
-    /// itself stays in the fleet. This is the "yanked cable, plugged
-    /// back in" path; it must degrade no worse than a killed
-    /// subprocess and no scheduling detail of it may reach the output.
-    fn on_reset(&mut self, worker: u64) -> Result<(), String> {
-        let Some(widx) = self.workers.iter().position(|w| w.id == worker) else {
-            return Ok(());
-        };
-        if !self.workers[widx].healthy {
-            return Ok(()); // already written off; the link is dying
-        }
-        self.stats.reconnects += 1;
-        self.workers[widx].last_heard = Instant::now();
-        if let Some(sid) = self.workers[widx].current.take() {
-            if matches!(self.shards[sid].status, ShardStatus::Running { .. }) {
-                eprintln!("pbbf sweep: worker {worker} transport reset; requeueing shard {sid}");
-                return self.fail_shard(sid);
-            }
-        }
-        Ok(())
-    }
-
-    fn on_gone(&mut self, worker: u64) -> Result<(), String> {
-        let Some(widx) = self.workers.iter().position(|w| w.id == worker) else {
-            return Ok(());
-        };
-        if !self.workers[widx].healthy {
-            return Ok(()); // already written off (we killed it)
-        }
-        eprintln!("pbbf sweep: worker {worker} died");
-        self.stats.crashes += 1;
-        self.write_off(widx)
-    }
-
-    /// Kills workers whose shard overran its deadline; the shard
-    /// retries elsewhere, the worker is quarantined (a wedged process
-    /// is not worth more work).
-    fn expire_deadlines(&mut self, now: Instant) -> Result<(), String> {
-        loop {
-            let Some((sid, wid)) =
-                self.shards
-                    .iter()
-                    .enumerate()
-                    .find_map(|(i, s)| match s.status {
-                        ShardStatus::Running { worker, deadline } if deadline <= now => {
-                            Some((i, worker))
-                        }
-                        _ => None,
-                    })
-            else {
-                return Ok(());
-            };
-            eprintln!("pbbf sweep: shard {sid} timed out on worker {wid}; quarantining it");
-            self.stats.timeouts += 1;
-            self.stats.quarantined += 1;
-            if let Some(widx) = self.workers.iter().position(|w| w.id == wid) {
-                self.write_off(widx)?;
-            }
-            if matches!(self.shards[sid].status, ShardStatus::Running { .. }) {
-                // The worker no longer claimed this shard; recycle it
-                // directly so the scan above always makes progress.
-                self.fail_shard(sid)?;
-            }
-        }
-    }
-
-    /// Writes off remote workers that have been silent past the
-    /// liveness window — the vanished-host detector. Remote workers
-    /// heartbeat on a timer even mid-shard, so silence here means the
-    /// host (or the network to it) is gone, not that a shard is slow;
-    /// per-shard deadlines separately cover the slow/wedged case.
-    fn expire_liveness(&mut self, now: Instant) -> Result<(), String> {
-        loop {
-            let Some(widx) = self.workers.iter().position(|w| {
-                w.healthy
-                    && w.remote
-                    && now.duration_since(w.last_heard) > self.opts.liveness_timeout
-            }) else {
-                return Ok(());
-            };
-            eprintln!(
-                "pbbf sweep: worker {} silent for {:.1?} (liveness {:.1?}); \
-                 quarantining unreachable host",
-                self.workers[widx].id,
-                now.duration_since(self.workers[widx].last_heard),
-                self.opts.liveness_timeout
-            );
-            self.stats.hosts_lost += 1;
-            self.stats.quarantined += 1;
-            self.write_off(widx)?;
-        }
-    }
-
-    /// No fleet left: compute every unfinished shard in-process, fanned
-    /// across the thread pool the workers were meant to replace.
-    fn drain_in_process(&mut self) -> Result<(), String> {
-        let todo: Vec<usize> = self
-            .shards
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| !matches!(s.status, ShardStatus::Done))
-            .map(|(i, _)| i)
-            .collect();
-        if todo.is_empty() {
-            return Ok(());
-        }
-        eprintln!(
-            "pbbf sweep: no healthy workers; running {} shard(s) in-process",
-            todo.len()
-        );
-        let exec = self.exec;
-        let jobs: Vec<&Json> = todo.iter().map(|&i| &self.shards[i].job).collect();
-        let results = pbbf_parallel::par_map(jobs, exec);
-        for (&sid, result) in todo.iter().zip(results) {
-            let values = result.map_err(|e| format!("shard {sid} failed in-process: {e}"))?;
-            self.accept(sid, values);
-            self.stats.inproc_shards += 1;
-        }
-        Ok(())
-    }
-
-    /// How long the event loop may sleep before something is due.
-    fn next_wait(&self, now: Instant) -> Duration {
-        let mut next: Option<Instant> = None;
-        let mut consider = |t: Instant| next = Some(next.map_or(t, |n| n.min(t)));
-        for s in &self.shards {
-            match s.status {
-                ShardStatus::Running { deadline, .. } => consider(deadline),
-                ShardStatus::Pending { eligible_at } if eligible_at > now => {
-                    consider(eligible_at);
-                }
-                _ => {}
-            }
-        }
-        for w in &self.workers {
-            if w.healthy && w.remote {
-                consider(w.last_heard + self.opts.liveness_timeout);
-            }
-        }
-        next.map_or(Duration::from_millis(100), |t| {
-            t.saturating_duration_since(now)
-                .max(Duration::from_millis(1))
-        })
-    }
+    let mut opts = opts.clone();
+    opts.workers = opts.workers.clamp(1, inputs.len());
+    let mut scheduler = crate::scheduler::SweepScheduler::new(opts, factory);
+    scheduler.run_sweep(inputs, exec)
+    // The scheduler drops here, killing the fleet — the one-shot
+    // contract callers of this function rely on.
 }

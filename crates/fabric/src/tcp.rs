@@ -15,7 +15,14 @@
 //!   [`WorkerReply::Heartbeat`] lines every
 //!   [`ServeOptions::heartbeat`], even mid-shard, so the supervisor's
 //!   host-liveness window (`SweepOptions::liveness_timeout`) can tell
-//!   a slow shard from a dead host.
+//!   a slow shard from a dead host. Each heartbeat carries cache
+//!   telemetry as a *session total*: the counter delta since this
+//!   connection's baseline, monotone within the connection. The
+//!   scheduler therefore *replaces* (never adds) the last heartbeat
+//!   per session, and banks the final total into a per-worker
+//!   accumulator when the session ends (`Reset`/`Gone`) — so the
+//!   counters restarting from zero on the next connection loses
+//!   nothing. See `docs/PROTOCOL.md` §3.3.
 //! * **Reconnection.** A dropped connection is retried with the same
 //!   bounded exponential backoff the shard scheduler uses; success
 //!   surfaces as [`WorkerEvent::Reset`] (in-flight shard requeued,

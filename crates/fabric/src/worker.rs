@@ -65,10 +65,20 @@ where
 
 /// Renders a reply to its wire line.
 pub(crate) fn render_reply(reply: &WorkerReply, shard_id: u32) -> String {
-    serde_json::to_string(reply).unwrap_or_else(|e| {
-        // Infallible with the shim; belt-and-braces for API parity.
-        format!("{{\"Error\":{{\"id\":{shard_id},\"error\":\"render: {e}\"}}}}")
-    })
+    serde_json::to_string(reply).unwrap_or_else(|e| render_fallback_error(shard_id, &e.to_string()))
+}
+
+/// Builds the fallback `Error` line through the JSON encoder itself —
+/// hand-formatting it would emit an invalid line the moment the error
+/// message contains a quote, backslash, or control character, and an
+/// invalid line costs the worker a corruption strike.
+fn render_fallback_error(shard_id: u32, msg: &str) -> String {
+    let error = Json::Obj(vec![
+        ("id".into(), Json::U64(u64::from(shard_id))),
+        ("error".into(), Json::Str(format!("render: {msg}"))),
+    ]);
+    serde_json::to_string(&Json::Obj(vec![("Error".into(), error)]))
+        .expect("rendering a literal Json value cannot fail")
 }
 
 /// Runs the worker loop over this process's stdin/stdout until EOF,
@@ -216,5 +226,21 @@ mod tests {
             outcome_for_spec(&plan, &spec(4), &exec),
             SpecOutcome::Crash(3)
         ));
+    }
+
+    #[test]
+    fn fallback_error_line_survives_hostile_messages() {
+        // Quotes, backslashes, newlines, tabs: everything that would
+        // break a hand-interpolated JSON literal. The line must parse
+        // back as a WorkerReply naming the right shard.
+        let msg = "disk \"full\" at C:\\tmp\nline2\tend";
+        let line = render_fallback_error(7, msg);
+        let reply: WorkerReply =
+            serde_json::from_str(&line).expect("fallback error line must be valid JSON");
+        let WorkerReply::Error(e) = reply else {
+            panic!("fallback renders an Error reply, got {reply:?}");
+        };
+        assert_eq!(e.id, 7);
+        assert_eq!(e.error, format!("render: {msg}"));
     }
 }

@@ -3,13 +3,15 @@
 //! quarantine, spawn failure, fleet collapse, duplicate replies — must
 //! end in the same values a faultless run produces.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
 use std::time::Duration;
 
 use pbbf_fabric::protocol::{result_reply, ShardError, ShardSpec, WorkerReply};
 use pbbf_fabric::{
-    run_sweep, CacheTelemetry, ShardInput, SweepOptions, WorkerEvent, WorkerFactory, WorkerLink,
+    run_sweep, CacheTelemetry, ShardInput, SweepOptions, SweepScheduler, WorkerEvent,
+    WorkerFactory, WorkerLink,
 };
 use serde::{Deserialize, Serialize};
 use serde_json::Value as Json;
@@ -57,6 +59,10 @@ fn corrupt_checksum_reply(spec: &ShardSpec) -> String {
 enum Action {
     /// Emit this raw stdout line.
     Reply(String),
+    /// Emit this raw line attributed to *another* worker id — the
+    /// late-duplicate shape: a reply from a worker written off earlier
+    /// arrives while the shard's retry is in flight elsewhere.
+    ReplyAs(u64, String),
     /// Die: emit `Gone` and fail all further sends.
     Die,
     /// Say nothing (the hang shape — the deadline must catch it).
@@ -119,6 +125,12 @@ impl WorkerLink for MockLink {
                 Action::Reply(reply) => {
                     let _ = self.events.send(WorkerEvent::Line {
                         worker: self.worker,
+                        line: reply,
+                    });
+                }
+                Action::ReplyAs(worker, reply) => {
+                    let _ = self.events.send(WorkerEvent::Line {
+                        worker,
                         line: reply,
                     });
                 }
@@ -464,4 +476,240 @@ fn heartbeat_telemetry_aggregates_across_the_fleet() {
     assert_eq!(out.stats.cache_hits, 12);
     assert_eq!(out.stats.cache_misses, 5);
     assert_eq!(out.stats.cache_evictions, 1);
+}
+
+#[test]
+fn reconnect_accumulates_both_sessions_telemetry() {
+    // Heartbeats carry per-session totals; a transport reset starts a
+    // new session whose counters restart from zero. The sweep total
+    // must be the SUM of sessions, not the last session's counters —
+    // losing the first session's {5,2,1} was the historical bug.
+    let factory = MockFactory::new(|_, spec| match (spec.id, spec.attempt) {
+        (0, 0) => vec![
+            Action::Reply(heartbeat_line(CacheTelemetry {
+                hits: 5,
+                misses: 2,
+                evictions: 1,
+            })),
+            Action::Reset,
+        ],
+        (0, _) => vec![
+            Action::Reply(heartbeat_line(CacheTelemetry {
+                hits: 3,
+                misses: 1,
+                evictions: 1,
+            })),
+            Action::Reply(valid_reply(spec)),
+        ],
+        _ => vec![Action::Reply(valid_reply(spec))],
+    });
+    let out = run_sweep(inputs(2, 2), &opts(1), &factory, exec).unwrap();
+    assert_all_values(&out.values, 2, 2);
+    assert_eq!(out.stats.reconnects, 1);
+    assert_eq!(out.stats.crashes, 0);
+    assert_eq!(out.stats.cache_hits, 8, "5 before + 3 after the reset");
+    assert_eq!(out.stats.cache_misses, 3);
+    assert_eq!(out.stats.cache_evictions, 2);
+}
+
+#[test]
+fn corrupt_duplicate_naming_another_shard_does_not_yank_the_current_one() {
+    // Worker 1, while holding shard 1, emits a corrupt line naming the
+    // already-settled shard 0, then its own (valid) shard 1 reply. The
+    // corruption must strike the sender but say nothing about shard 1:
+    // requeueing the in-flight shard on a cross-shard strike was the
+    // historical bug (it showed up as a phantom retry).
+    let factory = MockFactory::new(|slot, spec| {
+        if slot == 1 && spec.id == 1 && spec.attempt == 0 {
+            let settled = ShardSpec {
+                id: 0,
+                attempt: 0,
+                expect: 2,
+                job: serde::to_value(&MockJob { k: 0, n: 2 }),
+            };
+            vec![
+                Action::Reply(corrupt_checksum_reply(&settled)),
+                Action::Reply(valid_reply(spec)),
+            ]
+        } else {
+            vec![Action::Reply(valid_reply(spec))]
+        }
+    });
+    let out = run_sweep(inputs(4, 2), &opts(2), &factory, exec).unwrap();
+    assert_all_values(&out.values, 4, 2);
+    assert_eq!(out.stats.corrupt, 1);
+    assert_eq!(out.stats.retries, 0, "the in-flight shard was not requeued");
+    assert_eq!(out.stats.quarantined, 0);
+    assert_eq!(out.stats.timeouts, 0);
+}
+
+#[test]
+fn late_duplicate_frees_only_the_replying_worker() {
+    // The full late-duplicate shape. Shard 0 wedges on worker 1 (slot
+    // 0), times out, and its retry lands on slot 1 — which stays
+    // silent while the *original* worker's late copy arrives. That
+    // copy settles the shard but must NOT free slot 1: it is still
+    // grinding. Fresh work (shard 2's final retry) must therefore go
+    // to slot 2; dealing it to slot 1 — the historical behavior — let
+    // its deadline tick against stolen time and ended in a spurious
+    // timeout + quarantine of a healthy worker.
+    const ST: Duration = Duration::from_millis(500);
+    let factory = MockFactory::new(|slot, spec| match (slot, spec.id, spec.attempt) {
+        (0, 0, 0) => vec![Action::Silent], // the wedge
+        (_, 0, 1) => vec![Action::ReplyAs(1, valid_reply(spec))], // late copy, retry-holder silent
+        (2, 2, 0) => vec![Action::Reply(corrupt_checksum_reply(spec))],
+        (1, 2, 1) => vec![Action::Reply(corrupt_checksum_reply(spec))],
+        (1, 2, _) => vec![Action::Silent], // slot 1 is busy with stale shard 0
+        _ => vec![Action::Reply(valid_reply(spec))],
+    });
+    let mut o = opts(3);
+    o.shard_timeout = ST;
+    o.backoff_base = Duration::from_millis(375);
+    o.backoff_cap = Duration::from_millis(1000);
+    let out = run_sweep(inputs(4, 2), &o, &factory, exec).unwrap();
+    assert_all_values(&out.values, 4, 2);
+    assert_eq!(out.stats.timeouts, 1, "only the original wedge timed out");
+    assert_eq!(
+        out.stats.quarantined, 1,
+        "no spurious quarantine of the duplicate-holder"
+    );
+    assert_eq!(out.stats.corrupt, 2);
+    assert_eq!(out.stats.retries, 3);
+    assert_eq!(out.stats.crashes, 0);
+    assert_eq!(out.stats.inproc_shards, 0);
+}
+
+#[test]
+fn inproc_escalation_is_not_counted_as_a_retry() {
+    // With max_shard_attempts = 4 a hopeless shard is delivered 4
+    // times and then escalates in-process: that is 3 redeliveries.
+    // Counting the escalation itself as a 4th retry was the bug.
+    let factory = MockFactory::new(|_, spec| {
+        let refusal = WorkerReply::Error(ShardError {
+            id: spec.id,
+            error: "not on my watch".into(),
+        });
+        vec![Action::Reply(serde_json::to_string(&refusal).unwrap())]
+    });
+    let out = run_sweep(inputs(1, 2), &opts(1), &factory, exec).unwrap();
+    assert_all_values(&out.values, 1, 2);
+    assert_eq!(out.stats.refused, 4, "one refusal per delivery");
+    assert_eq!(
+        out.stats.retries, 3,
+        "the in-process escalation is not a retry"
+    );
+    assert_eq!(out.stats.inproc_shards, 1);
+}
+
+/// [`MockFactory`] plus a spawn counter, to pin fleet residency.
+struct CountingFactory {
+    inner: MockFactory,
+    spawns: AtomicUsize,
+}
+
+impl WorkerFactory for CountingFactory {
+    fn spawn(
+        &self,
+        slot: usize,
+        worker: u64,
+        events: Sender<WorkerEvent>,
+    ) -> std::io::Result<Box<dyn WorkerLink>> {
+        self.spawns.fetch_add(1, Ordering::SeqCst);
+        self.inner.spawn(slot, worker, events)
+    }
+}
+
+#[test]
+fn queued_sweeps_multiplex_onto_one_fleet() {
+    // Three manifests (one empty) through one scheduler: every shard
+    // streams to the sink under its own sweep's index, each sweep gets
+    // its own stats, and the fleet is spawned exactly once.
+    let factory = CountingFactory {
+        inner: MockFactory::new(|_, spec| vec![Action::Reply(valid_reply(spec))]),
+        spawns: AtomicUsize::new(0),
+    };
+    let mut sched = SweepScheduler::new(opts(2), &factory);
+    let queue = vec![inputs(3, 2), Vec::new(), inputs(2, 2)];
+    let mut got: Vec<Vec<Option<Vec<Option<f64>>>>> =
+        vec![vec![None; 3], Vec::new(), vec![None; 2]];
+    let stats = sched
+        .run_queue(queue, exec, |sweep, shard, values| {
+            assert!(got[sweep][shard].is_none(), "each shard settles once");
+            got[sweep][shard] = Some(values);
+        })
+        .unwrap();
+    assert_eq!(stats.len(), 3);
+    for (sweep, slots) in got.into_iter().enumerate() {
+        let values: Vec<_> = slots.into_iter().map(Option::unwrap).collect();
+        assert_all_values(&values, values.len() as u64, 2);
+        assert_eq!(stats[sweep].workers_spawned, 2);
+        assert_eq!(stats[sweep].inproc_shards, 0);
+    }
+    assert_eq!(factory.spawns.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn resident_fleet_survives_across_sweeps_with_disjoint_telemetry() {
+    // Two sweeps, one scheduler: no respawn in between, and because
+    // the workers' session counters don't grow between sweeps, sweep 2
+    // must report a zero telemetry delta — consecutive sweeps see
+    // non-overlapping windows of the same monotone fleet total.
+    let beat = CacheTelemetry {
+        hits: 5,
+        misses: 2,
+        evictions: 1,
+    };
+    let factory = CountingFactory {
+        inner: MockFactory::new(move |_, spec| {
+            vec![
+                Action::Reply(valid_reply(spec)),
+                Action::Reply(heartbeat_line(beat)),
+            ]
+        }),
+        spawns: AtomicUsize::new(0),
+    };
+    let mut sched = SweepScheduler::new(opts(2), &factory);
+    let out1 = sched.run_sweep(inputs(4, 2), exec).unwrap();
+    assert_all_values(&out1.values, 4, 2);
+    let out2 = sched.run_sweep(inputs(3, 2), exec).unwrap();
+    assert_all_values(&out2.values, 3, 2);
+    assert_eq!(factory.spawns.load(Ordering::SeqCst), 2, "no respawn");
+    assert_eq!(out2.stats.workers_spawned, 2);
+    assert_eq!(out1.stats.cache_hits, 10, "both workers' session totals");
+    assert_eq!(
+        out2.stats.cache_hits, 0,
+        "no new hits since sweep 1 settled"
+    );
+}
+
+#[test]
+fn stale_reply_from_a_previous_sweep_is_ignored() {
+    // Sweep 2's first delivery (global wire id 4) is preceded by a
+    // leftover duplicate of sweep 1's shard 0. Global wire ids make it
+    // stale by construction: it must be dropped without a strike and
+    // without colliding with sweep 2's own shard 0.
+    let factory = MockFactory::new(|_, spec| {
+        if spec.id == 4 {
+            let old = ShardSpec {
+                id: 0,
+                attempt: 0,
+                expect: 2,
+                job: serde::to_value(&MockJob { k: 0, n: 2 }),
+            };
+            vec![
+                Action::Reply(valid_reply(&old)),
+                Action::Reply(valid_reply(spec)),
+            ]
+        } else {
+            vec![Action::Reply(valid_reply(spec))]
+        }
+    });
+    let mut sched = SweepScheduler::new(opts(2), &factory);
+    let out1 = sched.run_sweep(inputs(4, 2), exec).unwrap();
+    assert_all_values(&out1.values, 4, 2);
+    let out2 = sched.run_sweep(inputs(3, 2), exec).unwrap();
+    assert_all_values(&out2.values, 3, 2);
+    assert_eq!(out2.stats.corrupt, 0, "a stale reply is not corruption");
+    assert_eq!(out2.stats.retries, 0);
+    assert_eq!(out2.stats.quarantined, 0);
 }

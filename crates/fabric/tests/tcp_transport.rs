@@ -318,6 +318,63 @@ fn duplicate_replies_after_reconnect_fold_once() {
 }
 
 #[test]
+fn reconnect_preserves_session_telemetry_exactly() {
+    // Heartbeats carry per-session totals (deltas from the connection
+    // baseline — see docs/PROTOCOL.md §3.3). Connection 1 reports
+    // {5,2,1} and drops; connection 2 reports {7,3,0} before every
+    // reply. The sweep must report the SUM of both sessions: wiping
+    // the first session's counters on reconnect was the historical
+    // bug. The second connection's heartbeat precedes each reply, so
+    // its counters are always folded in before the sweep settles, and
+    // repeating the same totals keeps the sum exact no matter how
+    // many shards each connection ends up serving.
+    let addr = script_server(|listener| {
+        let (stream, _) = listener.accept().expect("first connection");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        if let Some(spec) = read_spec(&mut reader) {
+            write_reply(
+                &mut writer,
+                &WorkerReply::Heartbeat(CacheTelemetry {
+                    hits: 5,
+                    misses: 2,
+                    evictions: 1,
+                }),
+            );
+            write_reply(&mut writer, &valid_reply(&spec));
+        }
+        let _ = writer.shutdown(std::net::Shutdown::Both);
+        drop(writer);
+        drop(reader);
+        let (stream, _) = listener.accept().expect("second connection");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        while let Some(spec) = read_spec(&mut reader) {
+            write_reply(
+                &mut writer,
+                &WorkerReply::Heartbeat(CacheTelemetry {
+                    hits: 7,
+                    misses: 3,
+                    evictions: 0,
+                }),
+            );
+            write_reply(&mut writer, &valid_reply(&spec));
+        }
+    });
+    let out = run_sweep(inputs(3, 2), &sweep_opts(1), &factory(&addr), exec).unwrap();
+    assert_all_values(&out.values, 3, 2);
+    assert_eq!(out.stats.reconnects, 1);
+    assert_eq!(out.stats.crashes, 0);
+    assert_eq!(
+        out.stats.cache_hits, 12,
+        "both sessions' hits survive the reconnect: {}",
+        out.stats
+    );
+    assert_eq!(out.stats.cache_misses, 5);
+    assert_eq!(out.stats.cache_evictions, 1);
+}
+
+#[test]
 fn unreachable_host_is_a_spawn_failure() {
     // Bind-then-drop yields a port that refuses connections; spawning
     // against it must fail like an unspawnable worker binary, and the

@@ -7,6 +7,7 @@
 //! pbbf net       --p 0.25 --q 0.25 --delta 10   run the Section-5 simulator
 //! pbbf reproduce [--paper] [fig13 ...]          regenerate paper exhibits
 //! pbbf sweep     --workers 4 [fig13 ...]        multi-process figure sweep
+//! pbbf sweep     --figs fig13,fig17 [...]       several figures, ONE fleet
 //! pbbf sweep     --hosts a:7801,b:7801 [...]    ... mixing in TCP workers
 //! pbbf worker                                   (internal) sweep shard executor
 //! pbbf worker    --listen 0.0.0.0:7801          ... serving over TCP instead
@@ -15,8 +16,11 @@
 //! `sweep` shards a figure's Monte Carlo runs across `worker` child
 //! processes — and, with `--hosts`, across remote `worker --listen`
 //! processes over TCP — through the fault-tolerant fabric
-//! (`pbbf-fabric`); its stdout is byte-identical to `reproduce` of the
-//! same figure, which CI enforces under injected worker faults and a
+//! (`pbbf-fabric`). All requested figures run through a single
+//! *resident* fleet (one `SweepScheduler` queue), so remote workers
+//! keep their deployment caches warm from figure to figure; the stdout
+//! is byte-identical to `reproduce` of the same figures in the same
+//! order, which CI enforces under injected worker faults and a
 //! kill -9'd TCP worker (see `docs/OPERATIONS.md`). Argument parsing is
 //! deliberately dependency-free (the offline crate budget is spent on
 //! simulation, not flag handling), but strict: every command declares
@@ -30,7 +34,7 @@ use pbbf::prelude::*;
 use pbbf_experiments::sweep::{assemble_sweep, run_sweep_shard, sweep_manifest, ShardJob};
 use pbbf_fabric::{
     CacheTelemetry, HybridWorkerFactory, ProcessWorkerFactory, ServeOptions, ShardInput,
-    SweepOptions, TcpWorkerFactory, WorkerFactory,
+    SweepOptions, SweepScheduler, TcpWorkerFactory, WorkerFactory,
 };
 
 fn main() -> ExitCode {
@@ -74,7 +78,8 @@ fn print_help() {
          \x20 net        --p <f> --q <f> [--delta <f>] [--duration <s>] [--seed <n>]\n\
          \x20 reproduce  [--paper] [--plot] [--seed <n>] [table1 fig04 ... fig18]\n\
          \x20 sweep      [--paper] [--seed <n>] [--workers <n>] [--hosts <h:p,...>]\n\
-         \x20            [--shard-timeout <s>] [--liveness <s>] [fig13 ... fig18]\n\
+         \x20            [--figs fig13,fig17,...] [--shard-timeout <s>] [--liveness <s>]\n\
+         \x20            [fig13 ... fig18]        (all figures share one resident fleet)\n\
          \x20 worker     executes sweep shards from stdin (internal), or over TCP with\n\
          \x20            [--listen <addr:port>] [--heartbeat <s>] [--once]\n\
          \x20 help\n\n\
@@ -384,6 +389,23 @@ fn parse_hosts(spec: &str) -> Result<Vec<String>, String> {
     Ok(hosts)
 }
 
+/// Splits `--figs fig13,fig17` into figure ids, rejecting empty
+/// entries — a stray comma means a typo'd figure, not a request for
+/// nothing.
+fn parse_figs(spec: &str) -> Result<Vec<String>, String> {
+    let mut figs = Vec::new();
+    for raw in spec.split(',') {
+        let fig = raw.trim();
+        if fig.is_empty() {
+            return Err(format!(
+                "--figs: empty entry in `{spec}` (expected fig13,fig17,...)"
+            ));
+        }
+        figs.push(fig.to_string());
+    }
+    Ok(figs)
+}
+
 /// Parses a `--flag` holding a duration in seconds, requiring it to be
 /// finite and strictly positive.
 fn get_secs(flags: &HashMap<String, String>, key: &str, default: f64) -> Result<Duration, String> {
@@ -456,6 +478,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         &[
             bare("paper"),
             val("seed"),
+            val("figs"),
             val("workers"),
             val("hosts"),
             val("shard-timeout"),
@@ -469,18 +492,44 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     };
     let seed = get_u64(&flags, "seed", 2005)?;
     let sweepable = pbbf_experiments::sweep::sweepable_figures();
-    let figures: Vec<String> = if positional.is_empty() {
-        sweepable.iter().map(ToString::to_string).collect()
-    } else {
-        positional
-    };
+    // `--figs a,b,c` and bare positionals are the same request; the
+    // flag form exists so scripts can say "these figures, one fleet"
+    // in a single token. No figures at all means every sweepable one.
+    let mut figures: Vec<String> = positional;
+    if let Some(spec) = flags.get("figs") {
+        figures.extend(parse_figs(spec)?);
+    }
+    if figures.is_empty() {
+        figures = sweepable.iter().map(ToString::to_string).collect();
+    }
     let hosts = match flags.get("hosts") {
         Some(spec) => parse_hosts(spec)?,
         None => Vec::new(),
     };
     let (remote, local) = plan_fleet(&flags, &hosts)?;
+    // Every manifest is built before any fleet is spawned: a typo'd
+    // figure must fail fast, not after minutes of sweeping.
+    let mut manifests = Vec::with_capacity(figures.len());
+    for fig in &figures {
+        manifests.push(sweep_manifest(fig, &effort, seed).ok_or_else(|| {
+            format!("`{fig}` is not a shardable figure (choose from {sweepable:?})")
+        })?);
+    }
+    let queue: Vec<Vec<ShardInput>> = manifests
+        .iter()
+        .map(|m| {
+            m.shards
+                .iter()
+                .map(|j| ShardInput {
+                    job: serde::to_value(j),
+                    expect: (j.run1 - j.run0) as usize,
+                })
+                .collect()
+        })
+        .collect();
+    let total_shards: usize = queue.iter().map(Vec::len).sum();
     let opts = SweepOptions {
-        workers: remote + local,
+        workers: (remote + local).clamp(1, total_shards.max(1)),
         shard_timeout: get_secs(&flags, "shard-timeout", 120.0)?,
         liveness_timeout: get_secs(&flags, "liveness", 10.0)?,
         ..SweepOptions::default()
@@ -495,26 +544,26 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             local: process,
         })
     };
-    for fig in &figures {
-        let manifest = sweep_manifest(fig, &effort, seed).ok_or_else(|| {
-            format!("`{fig}` is not a shardable figure (choose from {sweepable:?})")
-        })?;
-        let shards = manifest
-            .shards
-            .iter()
-            .map(|j| ShardInput {
-                job: serde::to_value(j),
-                expect: (j.run1 - j.run0) as usize,
-            })
+    // ONE resident fleet serves the whole queue: workers — and their
+    // deployment caches — survive from figure to figure instead of
+    // being respawned per sweep.
+    let mut scheduler = SweepScheduler::new(opts, &*factory);
+    let mut slots: Vec<Vec<Option<Vec<Option<f64>>>>> = queue
+        .iter()
+        .map(|sweep| (0..sweep.len()).map(|_| None).collect())
+        .collect();
+    let stats = scheduler.run_queue(queue, exec_shard, |sweep, shard, values| {
+        slots[sweep][shard] = Some(values);
+    })?;
+    for (i, (fig, manifest)) in figures.iter().zip(&manifests).enumerate() {
+        eprintln!("pbbf sweep: {fig}: {}", stats[i]);
+        let values = std::mem::take(&mut slots[i])
+            .into_iter()
+            .map(|s| s.expect("a completed queue settles every shard"))
             .collect();
-        let outcome = pbbf_fabric::run_sweep(shards, &opts, &*factory, exec_shard)?;
-        eprintln!("pbbf sweep: {fig}: {}", outcome.stats);
         // Byte-identical to `reproduce`'s figure path: same renderer,
-        // same println.
-        println!(
-            "{}",
-            assemble_sweep(&manifest, outcome.values).render_text()
-        );
+        // same println, same figure order.
+        println!("{}", assemble_sweep(manifest, values).render_text());
     }
     Ok(())
 }
@@ -548,6 +597,20 @@ mod tests {
         let (flags, pos) = parse(&argv("fig13 --paper fig17"), &[bare("paper")]).unwrap();
         assert_eq!(flags.get("paper").map(String::as_str), Some("true"));
         assert_eq!(pos, ["fig13", "fig17"]);
+    }
+
+    #[test]
+    fn figs_parse_into_ids() {
+        assert_eq!(parse_figs("fig13, fig17").unwrap(), ["fig13", "fig17"]);
+        assert_eq!(parse_figs("fig18").unwrap(), ["fig18"]);
+    }
+
+    #[test]
+    fn figs_with_gaps_are_rejected() {
+        assert!(parse_figs("fig13,,fig17")
+            .unwrap_err()
+            .contains("empty entry"));
+        assert!(parse_figs("").unwrap_err().contains("empty entry"));
     }
 
     #[test]

@@ -69,6 +69,54 @@ fn sweep_survives_injected_faults_bitwise() {
 }
 
 #[test]
+fn multi_figure_resident_sweep_is_bitwise_identical() {
+    // `--figs` runs several figures through ONE resident fleet; the
+    // multiplexed output must equal the figures reproduced one at a
+    // time, byte for byte — scheduling across sweeps must be exactly
+    // as invisible as scheduling within one.
+    let clean = run(&["reproduce", "fig13", FIGURE, "--seed", SEED], &[]);
+    let swept = run(
+        &[
+            "sweep",
+            "--figs",
+            &format!("fig13,{FIGURE}"),
+            "--seed",
+            SEED,
+            "--workers",
+            "3",
+        ],
+        &[],
+    );
+    assert_eq!(swept, clean, "resident-fleet sweep diverged from reproduce");
+}
+
+#[test]
+fn multi_figure_sweep_survives_injected_faults_bitwise() {
+    let clean = run(&["reproduce", "fig13", FIGURE, "--seed", SEED], &[]);
+    // Faults land mid-queue on global shard ids: a crash early (first
+    // figure's range) and a corruption later. Retries cross the sweep
+    // boundary on the same resident workers; the bytes must not move.
+    let swept = run(
+        &[
+            "sweep",
+            "--figs",
+            &format!("fig13,{FIGURE}"),
+            "--seed",
+            SEED,
+            "--workers",
+            "3",
+            "--shard-timeout",
+            "5",
+        ],
+        &[("PBBF_FAULT", "crash:1,corrupt:7")],
+    );
+    assert_eq!(
+        swept, clean,
+        "faulted resident sweep diverged from reproduce"
+    );
+}
+
+#[test]
 fn persistent_crash_falls_back_to_in_process_bitwise() {
     let clean = reproduce_bytes();
     // `crash:0+` kills every worker attempt at shard 0; only the
