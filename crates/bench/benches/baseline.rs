@@ -51,7 +51,19 @@
 //!   shared deployment, advanced in lockstep by `NetSim::run_replicas`
 //!   against the serial one-`run_on`-per-seed loop (bitwise-equal
 //!   results; the acceptance criterion is ≥1.5× here).
+//! * `net_sim_run_quiescent_frameskip` vs `net_sim_run_quiescent_geometric`
+//!   — a 500-node two-hour single-flood scenario (λ = 0.000125,
+//!   PBBF(1, 1): all-immediate forwarding, draw-free always-awake coin)
+//!   at the 50 ms beacon interval, on the frame-skip and geometric
+//!   boundary engines. Results are asserted bitwise equal before timing
+//!   (frame skip's contract); the ratio isolates the ~288k empty
+//!   boundary events the jump deletes (acceptance: ≥3×).
 //! * `fig06_quick_effort` — one full figure regeneration at quick effort.
+//!
+//! Kernels that resolve deployments through the process-wide registry do
+//! so via [`get_or_draw_tracked`], which records that kernel's cache
+//! hit/miss delta under an `extras` key — the report shows *which*
+//! kernel's geometry hit or missed, not just an end-of-run total.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pbbf_des::{EventQueue, SimDuration, SimRng, SimTime};
@@ -62,6 +74,33 @@ use pbbf_topology::{
     area_for_density, unit_disk_edges, unit_disk_edges_brute, NodeId, Point2, RandomDeployment,
     Topology,
 };
+
+/// [`DeploymentCache::global().get_or_draw`] with per-kernel telemetry:
+/// the registry counter movement caused by *this* resolution lands in
+/// the JSON report as `extras["deployment_cache_<kernel>"]`, so the
+/// snapshot records which kernel's geometry hit the cache and which drew
+/// fresh (one end-of-run total cannot attribute either).
+fn get_or_draw_tracked(
+    kernel: &str,
+    cfg: &NetConfig,
+    seed: u64,
+) -> std::sync::Arc<CachedDeployment> {
+    let before = DeploymentCache::global().stats();
+    let deployment = DeploymentCache::global().get_or_draw(cfg, seed);
+    let after = DeploymentCache::global().stats();
+    let (hits, misses) = (after.hits - before.hits, after.misses - before.misses);
+    criterion::set_json_extra(
+        &format!("deployment_cache_{kernel}"),
+        format!(
+            "{{\"hits\": {hits}, \"misses\": {misses}, \"evictions\": {}, \"len\": {}, \"capacity\": {}}}",
+            after.evictions - before.evictions,
+            after.len,
+            after.capacity
+        ),
+    );
+    println!("deployment cache [{kernel}]: {hits} hits, {misses} misses");
+    deployment
+}
 
 fn positions_at_density(n: usize, range: f64, delta: f64, seed: u64) -> (Vec<Point2>, f64) {
     let side = area_for_density(range, n, delta).sqrt();
@@ -259,7 +298,7 @@ fn net_sim_run_sparse(c: &mut Criterion) {
     // the report's cache counters reflect how the sweeps actually obtain
     // deployments; the flood kernel below re-resolves the same scenario
     // and hits.
-    let deployment = DeploymentCache::global().get_or_draw(&cfg, 4);
+    let deployment = get_or_draw_tracked("net_sim_run_sparse_q05", &cfg, 4);
     let mode = NetMode::SleepScheduled(pbbf_core::PbbfParams::new(0.25, 0.05).expect("valid"));
     let sim = NetSim::new(cfg, mode);
     let shared_sim = NetSim::new(shared_cfg, mode);
@@ -317,7 +356,7 @@ fn net_sim_run_flood_replicas(c: &mut Criterion) {
     cfg.atim_window_secs = 0.01;
     cfg.boundary_engine = BoundaryEngine::Geometric;
     const SEEDS: [u64; 8] = [4, 11, 18, 25, 32, 39, 46, 53];
-    let deployment = DeploymentCache::global().get_or_draw(&cfg, 4);
+    let deployment = get_or_draw_tracked("net_sim_run_sparse_flood_replicas", &cfg, 4);
     let mode = NetMode::SleepScheduled(pbbf_core::PbbfParams::new(0.25, 1.0).expect("valid"));
     let sim = NetSim::new(cfg, mode);
     let serial: Vec<_> = SEEDS.iter().map(|&s| sim.run_on(s, &deployment)).collect();
@@ -339,29 +378,61 @@ fn net_sim_run_flood_replicas(c: &mut Criterion) {
     });
 }
 
+fn net_sim_run_quiescent(c: &mut Criterion) {
+    // The frame-skip engine's home regime: a two-hour sparse horizon
+    // (λ = 0.000125 → exactly one update at t = AW/2, flooded through
+    // the whole network within a few beacons, then nothing) at the
+    // 50 ms beacon interval — the shortest the Mica2 PHY admits, its
+    // 26.7 ms data airtime having to fit inside one data phase. Mode is
+    // PBBF(1, 1): all-immediate forwarding (no announce drain) and the
+    // draw-free always-awake coin — so once the flood's carried traffic
+    // ends, *no* node holds a frame or window membership and no traffic
+    // event is pending. The geometric engine still walks every
+    // FrameStart/WindowEnd pair — ~288k empty boundary events across
+    // the horizon — while frame skip detects the quiescence at the
+    // first idle frame start and settles the rest of the horizon in one
+    // O(1) jump. 500 nodes keeps the flood a real multi-hop spread
+    // while the walk still dominates the geometric run; at the sparse
+    // kernel's 10k nodes the one flood costs several times the entire
+    // walk and the pair would measure the flood instead. Results are
+    // asserted bitwise equal before timing (the engine's contract), so
+    // the ratio — enforced ≥3× by `bench_check` — counts exactly the
+    // deleted no-op boundary events.
+    let mut skip_cfg = NetConfig::table2();
+    skip_cfg.nodes = 500;
+    skip_cfg.duration_secs = 7200.0;
+    skip_cfg.delta = 10.0;
+    skip_cfg.lambda = 0.000125;
+    skip_cfg.beacon_interval_secs = 0.05;
+    skip_cfg.atim_window_secs = 0.005;
+    skip_cfg.boundary_engine = BoundaryEngine::FrameSkip;
+    let mut geo_cfg = skip_cfg;
+    geo_cfg.boundary_engine = BoundaryEngine::Geometric;
+    // A fresh geometry (no other kernel runs 500 nodes), so the
+    // per-kernel extras record this kernel's miss + insert — the other
+    // tracked kernels' entries attribute their hits the same way.
+    let deployment = get_or_draw_tracked("net_sim_run_quiescent_frameskip", &skip_cfg, 4);
+    let mode = NetMode::SleepScheduled(pbbf_core::PbbfParams::new(1.0, 1.0).expect("valid"));
+    let skip_sim = NetSim::new(skip_cfg, mode);
+    let geo_sim = NetSim::new(geo_cfg, mode);
+    let skip = skip_sim.run_on(4, &deployment);
+    assert_eq!(
+        skip,
+        geo_sim.run_on(4, &deployment),
+        "frame skip must be bitwise geometric"
+    );
+    assert_eq!(skip.updates_generated(), 1, "exactly one flood");
+    c.bench_function("net_sim_run_quiescent_frameskip", |b| {
+        b.iter(|| skip_sim.run_on(black_box(4), &deployment))
+    });
+    c.bench_function("net_sim_run_quiescent_geometric", |b| {
+        b.iter(|| geo_sim.run_on(black_box(4), &deployment))
+    });
+}
+
 fn figure_quick(c: &mut Criterion) {
     let effort = Effort::quick();
     c.bench_function("fig06_quick_effort", |b| b.iter(|| fig06(&effort, 2005)));
-}
-
-/// Not a kernel: snapshots the process-wide deployment registry's
-/// counters into the JSON report's `"extras"` section. Listed last in
-/// the group so it sees every kernel's cache traffic (the sparse and
-/// flood kernels resolve their deployments through
-/// [`DeploymentCache::global`], as the sweeps do).
-fn deployment_cache_stats(_c: &mut Criterion) {
-    let s = DeploymentCache::global().stats();
-    criterion::set_json_extra(
-        "deployment_cache",
-        format!(
-            "{{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"len\": {}, \"capacity\": {}}}",
-            s.hits, s.misses, s.evictions, s.len, s.capacity
-        ),
-    );
-    println!(
-        "deployment cache: {} hits, {} misses, {} evictions ({}/{} entries)",
-        s.hits, s.misses, s.evictions, s.len, s.capacity
-    );
 }
 
 criterion_group! {
@@ -372,6 +443,6 @@ criterion_group! {
         .warm_up_time(std::time::Duration::from_millis(300));
     targets = deployment_edges, deployment_build_10k, event_queue_churn, channel_churn_dense,
         net_sim_run, net_sim_run_dense, net_sim_run_sparse, net_sim_run_flood_replicas,
-        figure_quick, deployment_cache_stats
+        net_sim_run_quiescent, figure_quick
 }
 criterion_main!(baseline);

@@ -165,6 +165,11 @@ pub const RATIO_RULES: &[RatioRule] = &[
         slow: "net_sim_run_sparse_flood_serial",
         min_ratio: 1.5, // lockstep replica batch vs one-run-at-a-time serial loop
     },
+    RatioRule {
+        fast: "net_sim_run_quiescent_frameskip",
+        slow: "net_sim_run_quiescent_geometric",
+        min_ratio: 3.0, // frame skip vs per-frame boundary walk on a quiescent horizon
+    },
 ];
 
 /// Checks the [`RATIO_RULES`] within one fresh run. Returns the report

@@ -34,6 +34,10 @@ pub struct ActiveSet {
     /// duplicate entries between sweeps.
     members: Vec<u32>,
     in_set: Vec<bool>,
+    /// Live-member count, maintained on every membership transition so
+    /// [`ActiveSet::len`]/[`ActiveSet::is_empty`] are O(1) — the
+    /// frame-skip engine polls emptiness at every beacon boundary.
+    live: usize,
 }
 
 impl ActiveSet {
@@ -43,6 +47,7 @@ impl ActiveSet {
         Self {
             members: Vec::new(),
             in_set: vec![false; n],
+            live: 0,
         }
     }
 
@@ -55,9 +60,11 @@ impl ActiveSet {
     pub fn set(&mut self, i: usize, member: bool) {
         if member && !self.in_set[i] {
             self.in_set[i] = true;
+            self.live += 1;
             self.members.push(i as u32);
-        } else if !member {
+        } else if !member && self.in_set[i] {
             self.in_set[i] = false;
+            self.live -= 1;
         }
     }
 
@@ -96,16 +103,17 @@ impl ActiveSet {
         self.members.extend_from_slice(out);
     }
 
-    /// Number of live members.
+    /// Number of live members (O(1)).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.in_set.iter().filter(|&&b| b).count()
+        debug_assert_eq!(self.live, self.in_set.iter().filter(|&&b| b).count());
+        self.live
     }
 
-    /// Whether no index is a member.
+    /// Whether no index is a member (O(1)).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
     }
 }
 
@@ -123,6 +131,10 @@ impl ActiveSet {
 pub(crate) struct ReplicaSet {
     union: ActiveSet,
     masks: Vec<u64>,
+    /// Live-member count per lane, maintained on every bit transition —
+    /// the replica frame-skip path polls per-lane emptiness at every
+    /// shared beacon boundary, so it must be O(1).
+    lane_live: [u32; 64],
 }
 
 impl ReplicaSet {
@@ -131,6 +143,7 @@ impl ReplicaSet {
         Self {
             union: ActiveSet::new(n),
             masks: vec![0; n],
+            lane_live: [0; 64],
         }
     }
 
@@ -144,12 +157,20 @@ impl ReplicaSet {
         debug_assert!(lane < 64, "lane {lane} exceeds the u64 mask");
         let bit = 1u64 << lane;
         let m = &mut self.masks[i];
-        if member {
+        if member && *m & bit == 0 {
             *m |= bit;
-        } else {
+            self.lane_live[lane] += 1;
+        } else if !member && *m & bit != 0 {
             *m &= !bit;
+            self.lane_live[lane] -= 1;
         }
         self.union.set(i, *m != 0);
+    }
+
+    /// Whether `lane` has no members (O(1)).
+    #[inline]
+    pub(crate) fn lane_is_empty(&self, lane: usize) -> bool {
+        self.lane_live[lane] == 0
     }
 
     /// The lane bitmask of node `i`.
@@ -230,5 +251,25 @@ mod tests {
         s.sweep(&mut out);
         assert!(out.is_empty());
         assert_eq!(s.mask(4), 0);
+    }
+
+    #[test]
+    fn replica_set_lane_emptiness_is_tracked() {
+        let mut s = ReplicaSet::new(4);
+        assert!(s.lane_is_empty(0) && s.lane_is_empty(63));
+        s.set(2, 5, true);
+        s.set(3, 5, true);
+        s.set(2, 7, true);
+        assert!(!s.lane_is_empty(5) && !s.lane_is_empty(7));
+        assert!(s.lane_is_empty(6));
+        // Redundant sets must not double-count.
+        s.set(2, 5, true);
+        s.set(2, 5, false);
+        assert!(!s.lane_is_empty(5), "node 3 still holds lane 5");
+        s.set(3, 5, false);
+        s.set(3, 5, false);
+        assert!(s.lane_is_empty(5));
+        s.set(2, 7, false);
+        assert!(s.lane_is_empty(7));
     }
 }

@@ -193,6 +193,14 @@ struct ReplicaRunner {
     /// before construction).
     lazy: bool,
     dense_boundaries: bool,
+    /// Whether globally quiescent frames are jumped wholesale
+    /// ([`BoundaryEngine::FrameSkip`]) — here "globally" means every
+    /// lane at once: one lane mid-flood keeps the whole batch stepping
+    /// frame by frame, preserving each lane's serial event order.
+    frame_skip: bool,
+    /// The scheduled time of the next shared `GenUpdate`, mirrored so
+    /// the frame-skip jump knows where the next traffic arrival lands.
+    next_gen: Option<SimTime>,
     aw_secs: f64,
     data_secs: f64,
     k: usize,
@@ -222,7 +230,9 @@ struct ReplicaRunner {
     window_set: ReplicaSet,
     sweep: Vec<u32>,
     /// Boundary instants in seconds, computed once per frame for the
-    /// whole batch (the serial runner pays this per replica).
+    /// whole batch (the serial runner pays this per replica) — filled
+    /// only under the dense engine; the skipping engines convert on
+    /// demand (see the serial runner's `frame_secs` docs).
     frame_secs: Vec<f64>,
     window_secs: Vec<f64>,
     /// Update generation times — identical across lanes by construction;
@@ -276,10 +286,16 @@ impl ReplicaRunner {
             SimDuration::from_secs(cfg.beacon_interval_secs),
             SimDuration::from_secs(cfg.atim_window_secs),
         );
+        // Resolved identically to the serial runner (`Runner::new`) —
+        // the probe is a pure function of the config, so every lane and
+        // the serial reference pick the same engine.
+        let engine = cfg.boundary_engine.resolve(cfg);
         Self {
             psm,
             lazy: psm,
-            dense_boundaries: cfg.boundary_engine.effective() == BoundaryEngine::Dense,
+            dense_boundaries: engine == BoundaryEngine::Dense,
+            frame_skip: engine == BoundaryEngine::FrameSkip,
+            next_gen: None,
             aw_secs: timing.atim_window().as_secs(),
             data_secs: (timing.beacon_interval() - timing.atim_window()).as_secs(),
             k: cfg.k,
@@ -339,6 +355,7 @@ impl ReplicaRunner {
         }
         let first_update = SimTime::ZERO + self.timing.atim_window() / 2;
         if first_update <= self.duration {
+            self.next_gen = Some(first_update);
             self.sched_shared(first_update, SEv::GenUpdate);
         }
     }
@@ -452,6 +469,11 @@ impl ReplicaRunner {
 
     fn settle_dense(&mut self, i: usize, lane: usize, target: u32) {
         let beacon_nanos = self.timing.beacon_interval().as_nanos();
+        let atim_nanos = self.timing.atim_window().as_nanos();
+        // Tables are filled only under the dense engine; the skipping
+        // engines replay at most one boundary per edge here and convert
+        // on demand (bit-identical — see the serial `settle_dense`).
+        let dense = self.dense_boundaries;
         let li = self.li(i, lane);
         let node = &mut self.nodes[li];
         while node.applied < target {
@@ -460,8 +482,12 @@ impl ReplicaRunner {
             let frame = boundary >> 1;
             if boundary & 1 == 0 {
                 if !node.awake {
-                    node.meter
-                        .set_state_secs(self.frame_secs[frame as usize], RadioState::Idle);
+                    let secs = if dense {
+                        self.frame_secs[frame as usize]
+                    } else {
+                        SimTime::from_nanos(u64::from(frame) * beacon_nanos).as_secs()
+                    };
+                    node.meter.set_state_secs(secs, RadioState::Idle);
                     node.awake = true;
                     node.awake_since = SimTime::from_nanos(u64::from(frame) * beacon_nanos);
                 }
@@ -472,8 +498,12 @@ impl ReplicaRunner {
                 );
                 let _ = wants;
             } else if !node.mac.sleep_decision() && node.awake {
-                node.meter
-                    .set_state_secs(self.window_secs[frame as usize], RadioState::Sleep);
+                let secs = if dense {
+                    self.window_secs[frame as usize]
+                } else {
+                    SimTime::from_nanos(u64::from(frame) * beacon_nanos + atim_nanos).as_secs()
+                };
+                node.meter.set_state_secs(secs, RadioState::Sleep);
                 node.awake = false;
             }
         }
@@ -497,10 +527,13 @@ impl ReplicaRunner {
     fn settle_pairs_batched(&mut self, i: usize, lane: usize, pairs: u32) {
         let li = self.li(i, lane);
         let g0 = self.nodes[li].applied / 2;
+        // Only the skipping engines batch; their tables stay empty, so
+        // the two touched boundaries convert on demand (bit-identical
+        // to the dense engine's table entries).
+        let g0_secs = self.timing.frame_time(u64::from(g0)).as_secs();
         let node = &mut self.nodes[li];
         debug_assert_eq!(node.applied & 1, 0, "batch must start at a frame start");
-        node.meter
-            .set_state_secs(self.frame_secs[g0 as usize], RadioState::Idle);
+        node.meter.set_state_secs(g0_secs, RadioState::Idle);
         if !node.awake {
             node.awake = true;
             node.awake_since = self.timing.frame_time(u64::from(g0));
@@ -516,8 +549,10 @@ impl ReplicaRunner {
             .accrue_batch(RadioState::Sleep, u64::from(sleeps_inside), self.data_secs);
         let last = g0 + pairs - 1;
         let ends_awake = summary.ends_awake(pairs);
+        let last_window_secs =
+            (self.timing.frame_time(u64::from(last)) + self.timing.atim_window()).as_secs();
         node.meter.jump_to_secs(
-            self.window_secs[last as usize],
+            last_window_secs,
             if ends_awake {
                 RadioState::Idle
             } else {
@@ -538,13 +573,56 @@ impl ReplicaRunner {
     /// ATIM attempts enter in ascending node order, and the batch's
     /// `WindowEnd`/next `FrameStart` are scheduled after all of them
     /// (the serial handler's tail position for every lane).
+    /// The replica [`BoundaryEngine::FrameSkip`] jump — the serial
+    /// `Runner::try_skip_frames` lifted to the batch. The network must
+    /// be quiescent in *every* lane (no boundary active-set member, no
+    /// pending lane event — an O(lanes) check against live counters);
+    /// the skipped shared boundaries were then no-ops for all lanes at
+    /// once, so the whole batch fast-forwards together and each lane
+    /// stays bitwise equal to its serial frame-skip (and geometric) run.
+    fn try_skip_frames(&mut self, now: SimTime) -> bool {
+        let quiescent = (0..self.lanes).all(|lane| {
+            self.frame_set.lane_is_empty(lane)
+                && self.window_set.lane_is_empty(lane)
+                && self.lane_q[lane].is_empty()
+        });
+        if !quiescent {
+            return false;
+        }
+        let f = self.fired / 2;
+        debug_assert_eq!(now, self.timing.frame_time(u64::from(f)));
+        let beacon_nanos = self.timing.beacon_interval().as_nanos();
+        let last_frame = (self.duration.as_nanos() / beacon_nanos) as u32;
+        let target = match self.next_gen {
+            Some(t) => ((t.as_nanos() / beacon_nanos) as u32).min(last_frame),
+            None => last_frame,
+        };
+        if target <= f {
+            return false;
+        }
+        // O(1): just the cursor advance and the rescheduled frame start
+        // — the boundary-seconds tables are a dense-engine cache, and
+        // later settles convert skipped boundaries on demand (see the
+        // serial `try_skip_frames`).
+        self.fired = 2 * target;
+        self.sched_shared(self.timing.frame_time(u64::from(target)), SEv::FrameStart);
+        true
+    }
+
     fn on_frame_start(&mut self, now: SimTime) {
         debug_assert!(self.lazy, "boundary events exist only on the PSM path");
+        if self.frame_skip && self.try_skip_frames(now) {
+            return;
+        }
         let frame = self.fired / 2;
-        debug_assert_eq!(self.frame_secs.len(), frame as usize);
-        self.frame_secs.push(now.as_secs());
-        self.window_secs
-            .push((now + self.timing.atim_window()).as_secs());
+        if self.dense_boundaries {
+            // Skipping engines convert on demand instead — empty tables
+            // are what let `try_skip_frames` jump in O(1).
+            debug_assert_eq!(self.frame_secs.len(), frame as usize);
+            self.frame_secs.push(now.as_secs());
+            self.window_secs
+                .push((now + self.timing.atim_window()).as_secs());
+        }
         let mut sweep = std::mem::take(&mut self.sweep);
         self.frame_set.sweep(&mut sweep);
         for &i in &sweep {
@@ -650,7 +728,10 @@ impl ReplicaRunner {
         }
         let next = now + self.update_period;
         if next <= self.duration {
+            self.next_gen = Some(next);
             self.sched_shared(next, SEv::GenUpdate);
+        } else {
+            self.next_gen = None;
         }
     }
 

@@ -52,6 +52,25 @@
 //!   whose sleep decision may hinge on an ATIM heard this window, or a
 //!   trailing frame start — are replayed exactly on both engines.
 //!
+//! * **Rare-event frame skip**
+//!   ([`FrameSkip`](crate::BoundaryEngine::FrameSkip)) removes the last
+//!   O(sim-time) cost: the *global* loop. Even with every node settled
+//!   lazily, the geometric engine still pops one `FrameStart` and one
+//!   `WindowEnd` event per beacon interval — pure bookkeeping when no
+//!   flood is in flight. Under frame skip, a frame start that finds the
+//!   network **globally quiescent** (both boundary active sets empty,
+//!   no ATIM/data/`TxEnd` event pending — an O(1) check against live
+//!   counters) fast-forwards the boundary bookkeeping over every whole
+//!   frame before the next traffic arrival (the generation schedule is
+//!   mirrored in [`Runner::next_gen`]) and reschedules the frame start
+//!   there. The skipped events were provably no-ops — empty sweeps over
+//!   empty sets — so a `FrameSkip` run is **bitwise identical** to the
+//!   `Geometric` run of the same seed at every `q`, not merely in
+//!   distribution: the engine changes where the loop spends its time,
+//!   never what it computes. Cost becomes O(traffic) instead of
+//!   O(sim-time × nodes) in the λ → 0 regime the paper's energy-latency
+//!   frontier lives in.
+//!
 //! Adaptive mode keeps a full walk: closing every node's controller
 //! window (and tracing mean parameters) at each beacon is inherently
 //! O(n), and its per-window `q` changes feed the sleep coin.
@@ -244,9 +263,20 @@ struct Runner<C: CollisionChannel> {
     /// every node's observation window, an inherently dense walk).
     lazy: bool,
     /// Exact per-boundary replay instead of geometric-skip batching —
-    /// the effective [`BoundaryEngine`] choice (config plus the
-    /// `PBBF_DENSE_BOUNDARIES` override).
+    /// from the resolved [`BoundaryEngine`] choice (config plus the
+    /// `Auto` probe plus the `PBBF_DENSE_BOUNDARIES` override).
     dense_boundaries: bool,
+    /// Whether globally quiescent frames are jumped wholesale
+    /// ([`BoundaryEngine::FrameSkip`]).
+    frame_skip: bool,
+    /// Pending ATIM/data/`TxEnd` events in the queue — the traffic half
+    /// of the frame-skip quiescence check. Maintained by
+    /// [`Runner::sched_traffic`] and the drain loop.
+    traffic_events: u32,
+    /// The scheduled time of the next `GenUpdate` event, mirrored so
+    /// the frame-skip jump knows where the next traffic arrival lands
+    /// without searching the queue.
+    next_gen: Option<SimTime>,
     /// ATIM-window length in seconds — the per-frame idle stint every
     /// settled boundary pair credits.
     aw_secs: f64,
@@ -275,12 +305,15 @@ struct Runner<C: CollisionChannel> {
     sweep: Vec<u32>,
     /// Boundary timestamps in seconds, one entry per fired frame
     /// (`frame_secs[f]` = start of frame `f`, `window_secs[f]` = its
-    /// window end), appended by the frame-start handler. Settling
-    /// replays the same `set_state` instants for thousands of nodes;
-    /// converting each boundary to seconds once — instead of dividing
-    /// nanoseconds per node per boundary — keeps the replay loop in
-    /// integer/flag work. Values are bit-identical to converting at
-    /// each use.
+    /// window end), appended by the frame-start handler **under the
+    /// dense engine only**. Dense settling replays the same `set_state`
+    /// instants for thousands of nodes; converting each boundary to
+    /// seconds once — instead of dividing nanoseconds per node per
+    /// boundary — keeps the replay loop in integer/flag work. The
+    /// skipping engines touch only O(1) boundaries per settle, so they
+    /// leave these empty and convert on demand — bit-identical values
+    /// (boundaries are exact integer-nanosecond multiples, converted
+    /// with the same division).
     frame_secs: Vec<f64>,
     window_secs: Vec<f64>,
     gen_times: Vec<SimTime>,
@@ -334,11 +367,15 @@ impl<C: CollisionChannel> Runner<C> {
             SimDuration::from_secs(cfg.beacon_interval_secs),
             SimDuration::from_secs(cfg.atim_window_secs),
         );
+        let engine = cfg.boundary_engine.resolve(cfg);
         Self {
             psm,
             adaptive,
             lazy: psm && !adaptive,
-            dense_boundaries: cfg.boundary_engine.effective() == BoundaryEngine::Dense,
+            dense_boundaries: engine == BoundaryEngine::Dense,
+            frame_skip: engine == BoundaryEngine::FrameSkip,
+            traffic_events: 0,
+            next_gen: None,
             aw_secs: timing.atim_window().as_secs(),
             data_secs: (timing.beacon_interval() - timing.atim_window()).as_secs(),
             k: cfg.k,
@@ -375,6 +412,7 @@ impl<C: CollisionChannel> Runner<C> {
         }
         let first_update = SimTime::ZERO + self.timing.atim_window() / 2;
         if first_update <= self.duration {
+            self.next_gen = Some(first_update);
             self.queue.schedule(first_update, Ev::GenUpdate);
         }
     }
@@ -388,11 +426,72 @@ impl<C: CollisionChannel> Runner<C> {
                 Ev::FrameStart => self.on_frame_start(now),
                 Ev::WindowEnd => self.on_window_end(now),
                 Ev::GenUpdate => self.on_gen_update(now),
-                Ev::AtimAttempt(i) => self.on_atim_attempt(now, i as usize),
-                Ev::DataAttempt(i, intent) => self.on_data_attempt(now, i as usize, intent),
-                Ev::TxEnd(i) => self.on_tx_end(now, i as usize),
+                Ev::AtimAttempt(i) => {
+                    self.traffic_events -= 1;
+                    self.on_atim_attempt(now, i as usize);
+                }
+                Ev::DataAttempt(i, intent) => {
+                    self.traffic_events -= 1;
+                    self.on_data_attempt(now, i as usize, intent);
+                }
+                Ev::TxEnd(i) => {
+                    self.traffic_events -= 1;
+                    self.on_tx_end(now, i as usize);
+                }
             }
         }
+    }
+
+    /// Schedules a traffic event (ATIM/data attempt or `TxEnd`), keeping
+    /// the frame-skip quiescence counter in sync with the queue. Every
+    /// traffic schedule site must go through here; the drain loop
+    /// decrements on pop.
+    #[inline]
+    fn sched_traffic(&mut self, at: SimTime, ev: Ev) {
+        self.traffic_events += 1;
+        self.queue.schedule(at, ev);
+    }
+
+    /// The [`BoundaryEngine::FrameSkip`] jump, tried at the top of every
+    /// lazy frame start. When the network is globally quiescent — both
+    /// boundary active sets empty and no traffic event pending, an O(1)
+    /// check — every whole frame before the next generated update is
+    /// pure bookkeeping: its frame-start and window-end handlers would
+    /// sweep empty sets, touch no node, and draw no randomness. This
+    /// settles that bookkeeping wholesale (the boundary-seconds tables
+    /// and the global `fired` cursor) and reschedules the frame start at
+    /// the first frame that can carry traffic, leaving per-node settling
+    /// exactly as lazy as the geometric engine left it.
+    ///
+    /// Returns whether the jump was taken (the caller's frame-start work
+    /// is then subsumed). The rescheduled frame start is a fresh event,
+    /// not a fall-through: a `GenUpdate` landing exactly on the target
+    /// boundary was scheduled earlier and must pop first, exactly as it
+    /// would have against the serially-scheduled frame start.
+    fn try_skip_frames(&mut self, now: SimTime) -> bool {
+        if self.traffic_events != 0 || !self.frame_set.is_empty() || !self.window_set.is_empty() {
+            return false;
+        }
+        let f = self.fired / 2;
+        debug_assert_eq!(now, self.timing.frame_time(u64::from(f)));
+        let beacon_nanos = self.timing.beacon_interval().as_nanos();
+        let last_frame = (self.duration.as_nanos() / beacon_nanos) as u32;
+        let target = match self.next_gen {
+            Some(t) => ((t.as_nanos() / beacon_nanos) as u32).min(last_frame),
+            None => last_frame,
+        };
+        if target <= f {
+            return false;
+        }
+        // O(1): no per-skipped-frame work at all. The boundary-seconds
+        // tables are a dense-engine cache (see their field docs), so the
+        // jump is just the cursor advance and the rescheduled frame
+        // start — later settles convert the skipped boundaries to
+        // seconds on demand, bit-identically.
+        self.fired = 2 * target;
+        self.queue
+            .schedule(self.timing.frame_time(u64::from(target)), Ev::FrameStart);
+        true
     }
 
     /// Re-derives node `i`'s active-set membership from its MAC flags.
@@ -484,6 +583,13 @@ impl<C: CollisionChannel> Runner<C> {
     /// [`BoundaryEngine::Geometric`].
     fn settle_dense(&mut self, i: usize, target: u32) {
         let beacon_nanos = self.timing.beacon_interval().as_nanos();
+        let atim_nanos = self.timing.atim_window().as_nanos();
+        // The tables are filled only under the dense engine; the skipping
+        // engines replay at most one boundary per edge here, so the
+        // on-demand conversion (bit-identical: exact integer-nanosecond
+        // boundaries through the same division) costs nothing that
+        // matters.
+        let dense = self.dense_boundaries;
         let node = &mut self.nodes[i];
         while node.applied < target {
             let boundary = node.applied;
@@ -492,8 +598,12 @@ impl<C: CollisionChannel> Runner<C> {
             if boundary & 1 == 0 {
                 // Frame start: wake for the ATIM window.
                 if !node.awake {
-                    node.meter
-                        .set_state_secs(self.frame_secs[frame as usize], RadioState::Idle);
+                    let secs = if dense {
+                        self.frame_secs[frame as usize]
+                    } else {
+                        SimTime::from_nanos(u64::from(frame) * beacon_nanos).as_secs()
+                    };
+                    node.meter.set_state_secs(secs, RadioState::Idle);
                     node.awake = true;
                     node.awake_since = SimTime::from_nanos(u64::from(frame) * beacon_nanos);
                 }
@@ -506,8 +616,12 @@ impl<C: CollisionChannel> Runner<C> {
             } else {
                 // Window end: the Figure-3 sleep decision.
                 if !node.mac.sleep_decision() && node.awake {
-                    node.meter
-                        .set_state_secs(self.window_secs[frame as usize], RadioState::Sleep);
+                    let secs = if dense {
+                        self.window_secs[frame as usize]
+                    } else {
+                        SimTime::from_nanos(u64::from(frame) * beacon_nanos + atim_nanos).as_secs()
+                    };
+                    node.meter.set_state_secs(secs, RadioState::Sleep);
                     node.awake = false;
                 }
             }
@@ -549,14 +663,18 @@ impl<C: CollisionChannel> Runner<C> {
     /// state the node leaves in.
     fn settle_pairs_batched(&mut self, i: usize, pairs: u32) {
         let g0 = self.nodes[i].applied / 2;
+        // Only the skipping engines batch, and they leave the
+        // boundary-seconds tables empty: convert the two touched
+        // boundaries on demand (bit-identical to the dense engine's
+        // table entries).
+        let g0_secs = self.timing.frame_time(u64::from(g0)).as_secs();
         let node = &mut self.nodes[i];
         debug_assert_eq!(node.applied & 1, 0, "batch must start at a frame start");
         // Frame start `g0`: the node is awake for the ATIM window
         // whatever state it entered in. A real transition (not a jump):
         // it also closes the books on the stretch since the node's last
         // transition, in whatever state that stretch was spent.
-        node.meter
-            .set_state_secs(self.frame_secs[g0 as usize], RadioState::Idle);
+        node.meter.set_state_secs(g0_secs, RadioState::Idle);
         if !node.awake {
             node.awake = true;
             node.awake_since = self.timing.frame_time(u64::from(g0));
@@ -572,8 +690,10 @@ impl<C: CollisionChannel> Runner<C> {
             .accrue_batch(RadioState::Sleep, u64::from(sleeps_inside), self.data_secs);
         let last = g0 + pairs - 1;
         let ends_awake = summary.ends_awake(pairs);
+        let last_window_secs =
+            (self.timing.frame_time(u64::from(last)) + self.timing.atim_window()).as_secs();
         node.meter.jump_to_secs(
-            self.window_secs[last as usize],
+            last_window_secs,
             if ends_awake {
                 RadioState::Idle
             } else {
@@ -595,11 +715,20 @@ impl<C: CollisionChannel> Runner<C> {
 
     fn on_frame_start(&mut self, now: SimTime) {
         if self.lazy {
+            if self.frame_skip && self.try_skip_frames(now) {
+                return;
+            }
             let frame = self.fired / 2;
-            debug_assert_eq!(self.frame_secs.len(), frame as usize);
-            self.frame_secs.push(now.as_secs());
-            self.window_secs
-                .push((now + self.timing.atim_window()).as_secs());
+            if self.dense_boundaries {
+                // The skipping engines convert on demand instead (see
+                // the `frame_secs` field docs) — their tables stay
+                // empty, which is also what lets `try_skip_frames` jump
+                // in O(1).
+                debug_assert_eq!(self.frame_secs.len(), frame as usize);
+                self.frame_secs.push(now.as_secs());
+                self.window_secs
+                    .push((now + self.timing.atim_window()).as_secs());
+            }
             let mut sweep = std::mem::take(&mut self.sweep);
             self.frame_set.sweep(&mut sweep);
             for &i in &sweep {
@@ -614,7 +743,7 @@ impl<C: CollisionChannel> Runner<C> {
                 if wants && !self.nodes[i].atim_scheduled {
                     self.nodes[i].atim_scheduled = true;
                     let at = self.backoff.next_atim_attempt(now, &mut self.nodes[i].rng);
-                    self.queue.schedule(at, Ev::AtimAttempt(i as u32));
+                    self.sched_traffic(at, Ev::AtimAttempt(i as u32));
                 }
                 self.window_set.set(i, true);
             }
@@ -649,7 +778,7 @@ impl<C: CollisionChannel> Runner<C> {
                 if node.mac.begin_frame() && !node.atim_scheduled {
                     node.atim_scheduled = true;
                     let at = self.backoff.next_atim_attempt(now, &mut node.rng);
-                    self.queue.schedule(at, Ev::AtimAttempt(i as u32));
+                    self.sched_traffic(at, Ev::AtimAttempt(i as u32));
                 }
             }
             if self.adaptive {
@@ -702,15 +831,13 @@ impl<C: CollisionChannel> Runner<C> {
         if node.mac.has_pending_normal() && !node.normal_scheduled {
             node.normal_scheduled = true;
             let at = self.backoff.next_data_attempt(now, &mut node.rng);
-            self.queue
-                .schedule(at, Ev::DataAttempt(i as u32, DataIntent::Normal));
+            self.sched_traffic(at, Ev::DataAttempt(i as u32, DataIntent::Normal));
         }
         let node = &mut self.nodes[i];
         if node.mac.has_pending_immediate() && !node.immediate_scheduled {
             node.immediate_scheduled = true;
             let at = self.backoff.next_data_attempt(now, &mut node.rng);
-            self.queue
-                .schedule(at, Ev::DataAttempt(i as u32, DataIntent::Immediate));
+            self.sched_traffic(at, Ev::DataAttempt(i as u32, DataIntent::Immediate));
         }
     }
 
@@ -734,7 +861,7 @@ impl<C: CollisionChannel> Runner<C> {
                         if !self.nodes[i].atim_scheduled {
                             self.nodes[i].atim_scheduled = true;
                             let at = self.backoff.next_atim_attempt(now, &mut self.nodes[i].rng);
-                            self.queue.schedule(at, Ev::AtimAttempt(i as u32));
+                            self.sched_traffic(at, Ev::AtimAttempt(i as u32));
                         }
                     }
                 }
@@ -749,7 +876,10 @@ impl<C: CollisionChannel> Runner<C> {
 
         let next = now + self.update_period;
         if next <= self.duration {
+            self.next_gen = Some(next);
             self.queue.schedule(next, Ev::GenUpdate);
+        } else {
+            self.next_gen = None;
         }
     }
 
@@ -766,8 +896,7 @@ impl<C: CollisionChannel> Runner<C> {
             now
         };
         let at = self.backoff.next_data_attempt(from, &mut self.nodes[i].rng);
-        self.queue
-            .schedule(at, Ev::DataAttempt(i as u32, DataIntent::Immediate));
+        self.sched_traffic(at, Ev::DataAttempt(i as u32, DataIntent::Immediate));
     }
 
     fn on_atim_attempt(&mut self, now: SimTime, i: usize) {
@@ -787,7 +916,7 @@ impl<C: CollisionChannel> Runner<C> {
         if self.channel.is_transmitting(id) || self.channel.carrier_busy(id) {
             let at = self.backoff.next_atim_attempt(now, &mut self.nodes[i].rng);
             if at + self.atim_air <= window_end {
-                self.queue.schedule(at, Ev::AtimAttempt(i as u32));
+                self.sched_traffic(at, Ev::AtimAttempt(i as u32));
             } else {
                 self.nodes[i].atim_scheduled = false;
             }
@@ -806,7 +935,7 @@ impl<C: CollisionChannel> Runner<C> {
             .channel
             .begin_tx(now, Frame::atim(id, contents), self.atim_air);
         self.nodes[i].meter.set_state(now, RadioState::Transmit);
-        self.queue.schedule(end, Ev::TxEnd(i as u32));
+        self.sched_traffic(end, Ev::TxEnd(i as u32));
     }
 
     fn on_data_attempt(&mut self, now: SimTime, i: usize, intent: DataIntent) {
@@ -839,13 +968,13 @@ impl<C: CollisionChannel> Runner<C> {
                         .earliest_data_time(self.timing.next_frame_start(now))
                 };
                 let at = self.backoff.next_data_attempt(from, &mut self.nodes[i].rng);
-                self.queue.schedule(at, Ev::DataAttempt(i as u32, intent));
+                self.sched_traffic(at, Ev::DataAttempt(i as u32, intent));
                 return;
             }
         }
         if self.channel.is_transmitting(id) || self.channel.carrier_busy(id) {
             let at = self.backoff.next_data_attempt(now, &mut self.nodes[i].rng);
-            self.queue.schedule(at, Ev::DataAttempt(i as u32, intent));
+            self.sched_traffic(at, Ev::DataAttempt(i as u32, intent));
             return;
         }
         self.clear_guard(i, intent);
@@ -861,7 +990,7 @@ impl<C: CollisionChannel> Runner<C> {
         let frame = Frame::data(id, contents, intent == DataIntent::Immediate);
         let end = self.channel.begin_tx(now, frame, self.data_air);
         self.nodes[i].meter.set_state(now, RadioState::Transmit);
-        self.queue.schedule(end, Ev::TxEnd(i as u32));
+        self.sched_traffic(end, Ev::TxEnd(i as u32));
     }
 
     fn clear_guard(&mut self, i: usize, intent: DataIntent) {
@@ -1192,17 +1321,22 @@ mod tests {
         }
     }
 
+    fn with_engine(duration: f64, engine: BoundaryEngine) -> NetConfig {
+        let mut c = cfg(duration);
+        c.boundary_engine = engine;
+        c
+    }
+
     #[test]
     fn deterministic_endpoints_identical_across_boundary_engines() {
-        // q = 0 (PSM) and q = 1 consume no sleep randomness on either
+        // q = 0 (PSM) and q = 1 consume no sleep randomness on any
         // engine, and the Table-2 boundary instants are exactly
         // representable, so whole runs agree bit for bit — the strongest
         // cheap cross-check of the batched pair accounting (an off-by-one
         // in the credited ATIM windows or data phases shows up here).
-        let mut dense = cfg(300.0);
-        dense.boundary_engine = BoundaryEngine::Dense;
-        let geo = cfg(300.0);
-        assert_eq!(geo.boundary_engine, BoundaryEngine::Geometric);
+        let dense = with_engine(300.0, BoundaryEngine::Dense);
+        let geo = with_engine(300.0, BoundaryEngine::Geometric);
+        let skip = with_engine(300.0, BoundaryEngine::FrameSkip);
         for seed in [1u64, 5] {
             for mode in [
                 NetMode::SleepScheduled(PbbfParams::PSM),
@@ -1211,28 +1345,66 @@ mod tests {
             ] {
                 let a = NetSim::new(dense, mode).run(seed);
                 let b = NetSim::new(geo, mode).run(seed);
-                assert_eq!(a, b, "mode {mode:?} seed {seed}");
+                let c = NetSim::new(skip, mode).run(seed);
+                assert_eq!(a, b, "dense vs geometric, mode {mode:?} seed {seed}");
+                assert_eq!(b, c, "geometric vs frame skip, mode {mode:?} seed {seed}");
             }
+        }
+    }
+
+    #[test]
+    fn frame_skip_is_bitwise_geometric() {
+        // The frame-skip contract is stronger than the geometric engine's
+        // statistical one: skipped frames were no-ops, so whole runs
+        // agree bit for bit at *every* q, mid-range included.
+        let geo = with_engine(400.0, BoundaryEngine::Geometric);
+        let skip = with_engine(400.0, BoundaryEngine::FrameSkip);
+        for seed in [1u64, 42] {
+            for mode in [
+                NetMode::SleepScheduled(PbbfParams::PSM),
+                pbbf(0.5, 0.5),
+                pbbf(0.25, 0.05),
+            ] {
+                assert_eq!(
+                    NetSim::new(geo, mode).run(seed),
+                    NetSim::new(skip, mode).run(seed),
+                    "mode {mode:?} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frame_skip_sparse_traffic_still_delivers() {
+        // A genuinely quiescent scenario — one update in a long horizon —
+        // exercises deep jumps (thousands of frames at once) end to end.
+        let mut c = with_engine(600.0, BoundaryEngine::FrameSkip);
+        c.lambda = 0.005; // 3 updates over 600 s, ~195 empty frames apart
+        let mut g = c;
+        g.boundary_engine = BoundaryEngine::Geometric;
+        for seed in [3u64, 8] {
+            let s = NetSim::new(c, pbbf(0.25, 0.5)).run(seed);
+            assert_eq!(s.updates_generated(), 3);
+            assert!(s.mean_delivery_ratio() > 0.3, "{}", s.mean_delivery_ratio());
+            assert_eq!(s, NetSim::new(g, pbbf(0.25, 0.5)).run(seed));
         }
     }
 
     #[test]
     fn non_lazy_modes_ignore_the_boundary_engine() {
         use pbbf_core::adaptive::AdaptiveConfig;
-        let mut dense = cfg(200.0);
-        dense.boundary_engine = BoundaryEngine::Dense;
-        let geo = cfg(200.0);
+        let dense = with_engine(200.0, BoundaryEngine::Dense);
+        let geo = with_engine(200.0, BoundaryEngine::Geometric);
+        let skip = with_engine(200.0, BoundaryEngine::FrameSkip);
         for mode in [
             NetMode::AlwaysOn,
             NetMode::Adaptive(AdaptiveConfig::default_for(
                 PbbfParams::new(0.1, 0.3).unwrap(),
             )),
         ] {
-            assert_eq!(
-                NetSim::new(dense, mode).run(7),
-                NetSim::new(geo, mode).run(7),
-                "mode {mode:?}"
-            );
+            let d = NetSim::new(dense, mode).run(7);
+            assert_eq!(d, NetSim::new(geo, mode).run(7), "mode {mode:?}");
+            assert_eq!(d, NetSim::new(skip, mode).run(7), "mode {mode:?}");
         }
     }
 
@@ -1241,10 +1413,12 @@ mod tests {
         // Mid-q: the engines differ bitwise (different stream layouts)
         // but the geometric engine must stay seed-deterministic and
         // produce the same qualitative physics as dense.
-        let sim = NetSim::new(cfg(300.0), pbbf(0.5, 0.5));
+        let sim = NetSim::new(
+            with_engine(300.0, BoundaryEngine::Geometric),
+            pbbf(0.5, 0.5),
+        );
         assert_eq!(sim.run(42), sim.run(42));
-        let mut dense = cfg(300.0);
-        dense.boundary_engine = BoundaryEngine::Dense;
+        let dense = with_engine(300.0, BoundaryEngine::Dense);
         let d = NetSim::new(dense, pbbf(0.5, 0.5)).run(42);
         let g = sim.run(42);
         assert_ne!(g, d, "mid-q stream layouts legitimately differ");

@@ -55,15 +55,41 @@ fn modes_and_endpoints_match_serial_bitwise() {
 }
 
 #[test]
-fn both_boundary_engines_match_serial_bitwise() {
+fn all_boundary_engines_match_serial_bitwise() {
     // The merged loop reuses the serial settle machinery per lane; pin
-    // both the exact-replay and the geometric-skip paths against it.
-    for engine in [BoundaryEngine::Dense, BoundaryEngine::Geometric] {
+    // the exact-replay, geometric-skip, and frame-skip paths against it.
+    for engine in [
+        BoundaryEngine::Dense,
+        BoundaryEngine::Geometric,
+        BoundaryEngine::FrameSkip,
+    ] {
         let mut c = cfg(300.0);
         c.boundary_engine = engine;
         let sim = NetSim::new(c, pbbf(0.25, 0.5));
         assert_batch_matches_serial(&sim, &[1, 2, 3, 4], 11, &format!("{engine:?}"));
     }
+}
+
+#[test]
+fn frame_skip_with_mixed_lane_activity_matches_serial_bitwise() {
+    // The replica jump requires *every* lane quiescent. A sparse update
+    // schedule with per-lane forwarding coins makes lanes drain their
+    // floods at different frames — so some shared frame starts see a
+    // mix of quiet and busy lanes (no jump), others see all-quiet (deep
+    // jump). Each lane must still equal its serial frame-skip run, and
+    // frame skip must leave geometric results untouched.
+    let mut c = cfg(800.0);
+    c.lambda = 0.004; // period 250 s = 25 frames: long quiescent gaps
+    c.boundary_engine = BoundaryEngine::FrameSkip;
+    let seeds = [9u64, 23, 51, 77, 104];
+    let sim = NetSim::new(c, pbbf(0.25, 0.5));
+    assert_batch_matches_serial(&sim, &seeds, 13, "mixed-lane frame skip");
+    let mut g = c;
+    g.boundary_engine = BoundaryEngine::Geometric;
+    let deployment = NetSim::draw_deployment(&c, 13);
+    let skip = sim.run_replicas(&seeds, &deployment);
+    let geo = NetSim::new(g, pbbf(0.25, 0.5)).run_replicas(&seeds, &deployment);
+    assert_eq!(skip, geo, "frame skip must be bitwise geometric per lane");
 }
 
 #[test]

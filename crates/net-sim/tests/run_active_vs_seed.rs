@@ -1,10 +1,10 @@
-//! Pins both boundary engines of the active-set event loop.
+//! Pins the boundary engines of the active-set event loop.
 //!
 //! * [`BoundaryEngine::Dense`] replays every skipped boundary exactly and
 //!   must stay **bit-identical to the original per-node-walk loop** it
 //!   replaced two PRs ago: `EXPECTED_DENSE` was captured from that loop
 //!   (commit 630516c) and has never been regenerated since.
-//! * [`BoundaryEngine::Geometric`] (the default) settles idle-node
+//! * [`BoundaryEngine::Geometric`] settles idle-node
 //!   boundary runs in closed form — a relaxed RNG-stream-layout contract
 //!   under which every value for a fixed seed moved **once**, at the PR
 //!   that introduced it. `EXPECTED_GEOMETRIC` pins the new layout; the
@@ -219,6 +219,15 @@ const EXPECTED_GEOMETRIC: &[(&str, u64)] = &[
     ("sparse/11", 0x2f4d5ba8890caff2),
 ];
 
+/// The frame-skip goldens are *defined as* the geometric table: the
+/// engine's contract is bitwise identity to [`BoundaryEngine::Geometric`]
+/// at every `q` (skipped frames are provably no-ops — see the runner's
+/// module docs), so a new table would be byte-for-byte the same and
+/// would only obscure the contract. A frame-skip cell diverging from
+/// this table is a bug in the quiescence check or the jump, never a new
+/// baseline.
+const EXPECTED_FRAMESKIP: &[(&str, u64)] = EXPECTED_GEOMETRIC;
+
 fn check(engine: BoundaryEngine, expected: &[(&str, u64)], what: &str) {
     let got = grid(engine);
     if std::env::var("PBBF_PRINT_FINGERPRINTS").is_ok() {
@@ -250,5 +259,14 @@ fn geometric_engine_matches_committed_goldens() {
         BoundaryEngine::Geometric,
         EXPECTED_GEOMETRIC,
         "EXPECTED_GEOMETRIC",
+    );
+}
+
+#[test]
+fn frame_skip_engine_matches_geometric_goldens() {
+    check(
+        BoundaryEngine::FrameSkip,
+        EXPECTED_FRAMESKIP,
+        "EXPECTED_FRAMESKIP",
     );
 }

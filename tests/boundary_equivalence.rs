@@ -1,12 +1,16 @@
-//! Statistical equivalence of the two boundary engines.
+//! Statistical equivalence of the lazy boundary engines.
 //!
-//! The geometric-skip engine ([`BoundaryEngine::Geometric`], the
-//! default) settles idle nodes' beacon boundaries in closed form — one
-//! geometric run-length draw per stretch of sleeps instead of one
-//! Bernoulli coin per boundary. That relaxes *stream layout* (values for
-//! a fixed seed move) while promising the same *distribution*; this
-//! suite is the honest pin of that promise, comparing the engines on the
-//! two observables the skip actually rewrites:
+//! The geometric-skip engine ([`BoundaryEngine::Geometric`]) settles
+//! idle nodes' beacon boundaries in closed form — one geometric
+//! run-length draw per stretch of sleeps instead of one Bernoulli coin
+//! per boundary — and the frame-skip engine
+//! ([`BoundaryEngine::FrameSkip`]) additionally jumps globally
+//! quiescent frames wholesale. Both relax *stream layout* relative to
+//! the dense reference (values for a fixed seed move) while promising
+//! the same *distribution*; this suite is the honest pin of that
+//! promise, comparing each lazy engine against
+//! [`BoundaryEngine::Dense`] on the two observables the skips actually
+//! rewrite:
 //!
 //! * **per-node awake-beacon counts** — how many data phases each node
 //!   spent awake (recovered exactly from the per-node sleep residency:
@@ -15,8 +19,10 @@
 //! * **total sleep energy** (and total energy) — compared as
 //!   across-run means with a tolerance from the runs' own spread.
 //!
-//! Cells randomize `(q, Δ, run-length)` (plus network size) from a
-//! fixed seed, and all runs of a cell fan out through
+//! Cells randomize `(q, Δ, λ, run-length)` (plus network size) from a
+//! fixed seed — λ spans busy and near-quiescent update rates so the
+//! frame-skip jump actually fires — and all runs of a cell fan out
+//! through
 //! `pbbf_parallel::par_map`, so CI exercising `PBBF_THREADS = 1/2/8`
 //! checks the suite is thread-count invariant as well as green.
 //!
@@ -35,6 +41,7 @@ use pbbf_parallel::par_map;
 struct Cell {
     q: f64,
     delta: f64,
+    lambda: f64,
     frames: u32,
     nodes: usize,
 }
@@ -57,6 +64,14 @@ fn cells() -> Vec<Cell> {
             // corner the skip optimizes.
             q: (0.03 + unit() * 0.9).min(0.93),
             delta: 8.0 + unit() * 6.0,
+            // Update period of 3..32 whole beacon intervals: the low end
+            // keeps traffic almost continuous, the high end leaves long
+            // quiescent stretches for the frame-skip jump. Whole
+            // intervals keep every generated update inside an ATIM
+            // window (the first lands mid-window), the regime the
+            // source model supports — its sender is awake by the
+            // frame-start wakeup, like every config this repo simulates.
+            lambda: 1.0 / (10.0 * (3.0 + (unit() * 30.0).floor())),
             frames: 20 + (unit() * 40.0) as u32,
             nodes: 60 + (unit() * 90.0) as usize,
         })
@@ -67,6 +82,7 @@ fn config(cell: Cell, engine: BoundaryEngine) -> NetConfig {
     let mut cfg = NetConfig::table2();
     cfg.nodes = cell.nodes;
     cfg.delta = cell.delta;
+    cfg.lambda = cell.lambda;
     cfg.duration_secs = f64::from(cell.frames) * cfg.beacon_interval_secs;
     cfg.boundary_engine = engine;
     cfg
@@ -113,7 +129,9 @@ fn sample(cell: Cell, engine: BoundaryEngine, runs: u64) -> EngineSample {
     // same seeds replayed (identical seeds could mask a bias).
     let base = match engine {
         BoundaryEngine::Geometric => 1_000_000,
+        BoundaryEngine::FrameSkip => 5_000_000,
         BoundaryEngine::Dense => 9_000_000,
+        BoundaryEngine::Auto => unreachable!("the suite samples concrete engines"),
     };
     let stats = par_map((0..runs).collect(), |r| sim.run(base + r));
     let mut awake_hist = vec![0u64; cell.frames as usize + 1];
@@ -177,42 +195,60 @@ fn assert_means_close(label: &str, cell: Cell, a: &[f64], b: &[f64]) {
     );
 }
 
+/// The chi-square + mean-agreement battery between one lazy engine's
+/// sample and the dense reference's.
+fn assert_engine_agrees(label: &str, cell: Cell, lazy: &EngineSample, dense: &EngineSample) {
+    // Per-node awake-beacon counts: pooled chi-square between the
+    // engines' histograms. Threshold: a generous 0.9999-quantile
+    // bound (dof + 4 * sqrt(2 dof) + 8) — the samples are
+    // independent, so only a real distributional bias fails this.
+    let (chi2, dof) = pooled_chi_square(&lazy.awake_hist, &dense.awake_hist);
+    let threshold = dof as f64 + 4.0 * (2.0 * dof as f64).sqrt() + 8.0;
+    let samples: u64 = lazy.awake_hist.iter().sum();
+    eprintln!("{label} cell {cell:?}: chi2 {chi2:.1} dof {dof} samples {samples}");
+    assert!(
+        dof >= 2 && samples >= 500,
+        "degenerate cell {cell:?}: dof {dof}, {samples} node-samples — \
+         the comparison has no statistical power"
+    );
+    assert!(
+        chi2 <= threshold,
+        "awake-beacon histograms diverged for {label}, {cell:?}: chi2 {chi2} > {threshold} \
+         (dof {dof})\n  {label} {:?}\n  dense     {:?}",
+        lazy.awake_hist,
+        dense.awake_hist,
+    );
+
+    // Sleep-energy and total-energy means within sampling error.
+    assert_means_close(
+        "total sleep seconds",
+        cell,
+        &lazy.sleep_secs,
+        &dense.sleep_secs,
+    );
+    assert_means_close("total energy", cell, &lazy.energy, &dense.energy);
+}
+
 #[test]
 fn geometric_and_dense_engines_agree_in_distribution() {
     const RUNS: u64 = 12;
     for cell in cells() {
         let geo = sample(cell, BoundaryEngine::Geometric, RUNS);
         let dense = sample(cell, BoundaryEngine::Dense, RUNS);
+        assert_engine_agrees("geometric", cell, &geo, &dense);
+    }
+}
 
-        // Per-node awake-beacon counts: pooled chi-square between the
-        // engines' histograms. Threshold: a generous 0.9999-quantile
-        // bound (dof + 4 * sqrt(2 dof) + 8) — the samples are
-        // independent, so only a real distributional bias fails this.
-        let (chi2, dof) = pooled_chi_square(&geo.awake_hist, &dense.awake_hist);
-        let threshold = dof as f64 + 4.0 * (2.0 * dof as f64).sqrt() + 8.0;
-        let samples: u64 = geo.awake_hist.iter().sum();
-        eprintln!("cell {cell:?}: chi2 {chi2:.1} dof {dof} samples {samples}");
-        assert!(
-            dof >= 2 && samples >= 500,
-            "degenerate cell {cell:?}: dof {dof}, {samples} node-samples — \
-             the comparison has no statistical power"
-        );
-        assert!(
-            chi2 <= threshold,
-            "awake-beacon histograms diverged for {cell:?}: chi2 {chi2} > {threshold} \
-             (dof {dof})\n  geometric {:?}\n  dense     {:?}",
-            geo.awake_hist,
-            dense.awake_hist,
-        );
-
-        // Sleep-energy and total-energy means within sampling error.
-        assert_means_close(
-            "total sleep seconds",
-            cell,
-            &geo.sleep_secs,
-            &dense.sleep_secs,
-        );
-        assert_means_close("total energy", cell, &geo.energy, &dense.energy);
+#[test]
+fn frame_skip_and_dense_engines_agree_in_distribution() {
+    // Frame skip is bitwise-pinned to geometric elsewhere; this is the
+    // independent end-to-end check against the exact-replay reference,
+    // over seeds disjoint from both other engines' samples.
+    const RUNS: u64 = 12;
+    for cell in cells() {
+        let skip = sample(cell, BoundaryEngine::FrameSkip, RUNS);
+        let dense = sample(cell, BoundaryEngine::Dense, RUNS);
+        assert_engine_agrees("frame-skip", cell, &skip, &dense);
     }
 }
 
